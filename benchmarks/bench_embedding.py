@@ -1,0 +1,88 @@
+"""E17 — §5 future work: uniform deployment on trees and general graphs.
+
+The Euler-tour embedding turns an n-node tree into a 2(n-1)-node
+virtual ring; the ring algorithms run unchanged.  Rows report virtual
+moves against the 2(n-1) budget, plus tree-level dispersion (smallest
+pairwise tree distance after deployment).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.embedding.deploy import deploy_on_graph, deploy_on_tree
+from repro.embedding.general import random_connected_graph
+from repro.embedding.tree import path_tree, random_tree, star_tree
+
+from benchmarks.conftest import report
+
+TREES = {
+    "path(32)": lambda rng: path_tree(32),
+    "star(32)": lambda rng: star_tree(32),
+    "random(32)": lambda rng: random_tree(32, rng),
+}
+AGENT_NODES = [1, 6, 11, 16, 21, 26]
+ALGORITHMS = ("known_k_full", "known_k_logspace", "unknown")
+
+
+def test_tree_deployment_all_shapes(benchmark):
+    def run():
+        rows = []
+        rng = random.Random(10)
+        for name, build in TREES.items():
+            tree = build(rng)
+            for algorithm in ALGORITHMS:
+                outcome = deploy_on_tree(tree, AGENT_NODES, algorithm=algorithm)
+                rows.append((name, algorithm, tree, outcome))
+        return rows
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "tree": name,
+            "algorithm": algorithm,
+            "virtual n": outcome.ring.size,
+            "k": len(AGENT_NODES),
+            "virtual moves": outcome.virtual.total_moves,
+            "moves/(k*2(n-1))": round(
+                outcome.virtual.total_moves
+                / (len(AGENT_NODES) * outcome.ring.size),
+                2,
+            ),
+            "min tree dist": outcome.min_tree_distance,
+            "distinct nodes": outcome.distinct_tree_nodes,
+            "uniform (virtual)": outcome.ok,
+        }
+        for name, algorithm, tree, outcome in measured
+    ]
+    report(
+        "E17 §5 - deployment on trees via the Euler-tour virtual ring "
+        "[paper: asymptotically equal moves, factor 2(n-1)/n]",
+        rows,
+    )
+    for _, _, _, outcome in measured:
+        assert outcome.ok
+        assert outcome.distinct_tree_nodes >= len(AGENT_NODES) // 2
+
+
+def test_graph_deployment(benchmark):
+    def run():
+        rng = random.Random(11)
+        graph = random_connected_graph(24, 12, rng)
+        return deploy_on_graph(graph, [1, 5, 9, 13], algorithm="known_k_full")
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E17 §5 - deployment on a general graph via BFS spanning tree",
+        [
+            {
+                "graph n": 24,
+                "virtual n": outcome.ring.size,
+                "k": 4,
+                "virtual moves": outcome.virtual.total_moves,
+                "min tree dist": outcome.min_tree_distance,
+                "uniform (virtual)": outcome.ok,
+            }
+        ],
+    )
+    assert outcome.ok

@@ -1,0 +1,40 @@
+"""Engine micro-benchmarks: atomic actions per second.
+
+Not a paper table — operational data for users sizing their own sweeps.
+pytest-benchmark timing is meaningful here (multiple rounds).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.runner import build_engine
+from repro.ring.placement import random_placement
+
+from benchmarks.conftest import report_lines
+
+
+def _run_once(algorithm: str, n: int, k: int, seed: int) -> int:
+    placement = random_placement(n, k, random.Random(seed))
+    engine = build_engine(algorithm, placement)
+    engine.run()
+    return engine.steps
+
+
+def test_throughput_known_k_full(benchmark):
+    steps = benchmark(lambda: _run_once("known_k_full", 128, 8, 20))
+    report_lines(
+        "Engine throughput - Algorithm 1 (n=128, k=8)",
+        [f"atomic actions per run: {steps}"],
+    )
+    assert steps > 0
+
+
+def test_throughput_logspace(benchmark):
+    steps = benchmark(lambda: _run_once("known_k_logspace", 128, 8, 21))
+    assert steps > 0
+
+
+def test_throughput_unknown(benchmark):
+    steps = benchmark(lambda: _run_once("unknown", 64, 6, 22))
+    assert steps > 0

@@ -1,0 +1,77 @@
+"""E3 — Theorem 5 / Figure 7: impossibility without knowledge of k or n.
+
+The construction expands a solved ring R (n, k, gap d) into R' with
+2qn + 2n nodes and kq + k agents.  Lemma 1 predicts perfect local
+indistinguishability for the window nodes while the base execution
+runs; the deceived agents consequently halt at spacing d instead of
+the required 2d, violating uniform deployment — for *both*
+knowledge-of-k algorithms playing the role of "the" algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.impossibility import (
+    demonstrate_impossibility,
+    lemma1_window_agreement,
+)
+from repro.ring.placement import placement_from_distances
+
+from benchmarks.conftest import report, report_lines
+
+BASE = placement_from_distances((5, 7, 4, 8))  # n = 24, k = 4, d = 6
+
+
+def test_impossibility_construction(benchmark):
+    def run():
+        return {
+            algorithm: demonstrate_impossibility(BASE, algorithm=algorithm)
+            for algorithm in ("known_k_full", "known_k_logspace")
+        }
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for algorithm, outcome in outcomes.items():
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "base n,k": f"{outcome.base.ring_size},{outcome.base.agent_count}",
+                "T(E_R)": outcome.rounds_in_base,
+                "q": outcome.q,
+                "R' n,k": (
+                    f"{outcome.expanded.ring_size},{outcome.expanded.agent_count}"
+                ),
+                "d": outcome.base_gap,
+                "required 2d": outcome.expanded_gap,
+                "window gaps": str(outcome.observed_prefix_gaps),
+                "uniform on R'": outcome.report.ok,
+            }
+        )
+    report(
+        "E3 Theorem 5 / Fig. 7 - deceived agents on the expanded ring R'",
+        rows,
+        notes="agents halt at spacing d (not 2d): termination detection is "
+        "impossible without knowledge, as proven",
+    )
+    for outcome in outcomes.values():
+        assert outcome.failed_as_predicted
+        assert all(
+            gap != outcome.expanded_gap for gap in outcome.observed_prefix_gaps
+        )
+
+
+def test_lemma1_local_indistinguishability(benchmark):
+    agreements = benchmark.pedantic(
+        lemma1_window_agreement,
+        kwargs={"base": BASE, "rounds": 48},
+        rounds=1,
+        iterations=1,
+    )
+    report_lines(
+        "E3 Lemma 1 - per-round local-configuration agreement on the window",
+        [
+            f"rounds checked: {len(agreements)}",
+            f"agreement values: min={min(agreements):.3f} max={max(agreements):.3f}",
+            "expected: 1.000 for every round t <= T (perfect indistinguishability)",
+        ],
+    )
+    assert all(value == 1.0 for value in agreements)

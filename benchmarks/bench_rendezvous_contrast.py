@@ -1,0 +1,75 @@
+"""E18 — §1.3: the rendezvous contrast, executable.
+
+On symmetric (periodic) initial configurations rendezvous is provably
+unsolvable while all three uniform-deployment algorithms succeed — the
+paper's central motivation ("rendezvous breaks symmetry, uniform
+deployment attains it").  Rows pair the rendezvous outcome with the
+deployment outcomes on identical placements.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.rendezvous import RendezvousAgent
+from repro.experiments.runner import run_experiment
+from repro.ring.placement import (
+    Placement,
+    periodic_placement,
+    placement_from_distances,
+)
+from repro.sim.engine import Engine
+
+from benchmarks.conftest import report
+
+CONFIGS = {
+    "aperiodic (l=1)": placement_from_distances((5, 7, 4, 8)),
+    "periodic (l=2)": periodic_placement((1, 2, 3), 2),
+    "periodic (l=3)": periodic_placement((2, 5, 3), 3),
+    "uniform (l=k)": placement_from_distances((4, 4, 4, 4)),
+}
+
+
+def _rendezvous(placement: Placement):
+    agents = [RendezvousAgent(placement.agent_count) for _ in placement.homes]
+    engine = Engine(placement, agents)
+    engine.run()
+    positions = set(engine.final_positions().values())
+    gathered = len(positions) == 1
+    detected = all(agent.symmetric for agent in agents)
+    return gathered, detected
+
+
+def test_rendezvous_vs_deployment(benchmark):
+    def run():
+        rows = []
+        for name, placement in CONFIGS.items():
+            gathered, detected = _rendezvous(placement)
+            deployment_ok = all(
+                run_experiment(algorithm, placement).ok
+                for algorithm in ("known_k_full", "known_k_logspace", "unknown")
+            )
+            rows.append((name, placement, gathered, detected, deployment_ok))
+        return rows
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "configuration": name,
+            "l": placement.symmetry_degree,
+            "rendezvous gathers": gathered,
+            "symmetry detected": detected,
+            "deployment (all 3)": deployment_ok,
+        }
+        for name, placement, gathered, detected, deployment_ok in measured
+    ]
+    report(
+        "E18 §1.3 - rendezvous vs uniform deployment on the same placements",
+        rows,
+        notes="deployment succeeds from every configuration; rendezvous only "
+        "from aperiodic ones (the paper's symmetry argument)",
+    )
+    for name, placement, gathered, detected, deployment_ok in measured:
+        assert deployment_ok
+        if placement.symmetry_degree == 1:
+            assert gathered
+        else:
+            assert not gathered and detected

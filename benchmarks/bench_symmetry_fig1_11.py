@@ -1,0 +1,94 @@
+"""E7/E13/E15 — the paper's exact figure configurations, end to end.
+
+* Figure 1: symmetry degrees of the two example rings (l = 1 and l = 2).
+* Figure 9: the n = 27, k = 9 ring with a misleading (1,3)^4
+  subsequence — the misestimating agent is corrected during patrol.
+* Figure 11: the (6,2)-node periodic ring — all agents estimate the
+  fundamental size N = 6, move 12N = 72 times, and still deploy
+  uniformly.
+
+All three uniform-deployment algorithms are run on every figure
+configuration (Result rows show moves/time per algorithm).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sequences import symmetry_degree
+from repro.experiments.runner import build_engine, run_experiment
+from repro.ring.placement import periodic_placement, placement_from_distances
+
+from benchmarks.conftest import report, report_lines
+
+FIGURE_CONFIGS = {
+    "Fig.1a (l=1)": placement_from_distances((1, 4, 2, 1, 2, 2)),
+    "Fig.1b (l=2)": placement_from_distances((1, 2, 3, 1, 2, 3)),
+    "Fig.9 (n=27)": placement_from_distances((11, 1, 3, 1, 3, 1, 3, 1, 3)),
+    "Fig.11 (6,2)": periodic_placement((1, 2, 3), 2),
+}
+ALGORITHMS = ("known_k_full", "known_k_logspace", "unknown")
+
+
+def test_symmetry_degrees_match_figure1(benchmark):
+    degrees = benchmark.pedantic(
+        lambda: {
+            name: symmetry_degree(placement.distances)
+            for name, placement in FIGURE_CONFIGS.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_lines(
+        "E7 Fig. 1 - symmetry degrees of the figure configurations",
+        [f"{name}: l = {degree}" for name, degree in degrees.items()],
+    )
+    assert degrees["Fig.1a (l=1)"] == 1
+    assert degrees["Fig.1b (l=2)"] == 2
+    assert degrees["Fig.9 (n=27)"] == 1
+    assert degrees["Fig.11 (6,2)"] == 2
+
+
+def test_all_algorithms_on_figure_configs(benchmark):
+    def run():
+        rows = []
+        for name, placement in FIGURE_CONFIGS.items():
+            for algorithm in ALGORITHMS:
+                result = run_experiment(algorithm, placement)
+                rows.append((name, algorithm, result))
+        return rows
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "figure": name,
+            "algorithm": algorithm,
+            "n": result.placement.ring_size,
+            "k": result.placement.agent_count,
+            "l": result.placement.symmetry_degree,
+            "total_moves": result.total_moves,
+            "ideal_time": result.ideal_time,
+            "uniform": result.ok,
+        }
+        for name, algorithm, result in measured
+    ]
+    report("E7/E13/E15 - figure configurations x all algorithms", rows)
+    assert all(result.ok for _, _, result in measured)
+
+
+def test_figure11_twelve_circuit_behaviour(benchmark):
+    def run():
+        engine = build_engine("unknown", FIGURE_CONFIGS["Fig.11 (6,2)"])
+        engine.run()
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    estimates = [engine.agent(a).n_est for a in engine.agent_ids]
+    totals = [engine.agent(a).nodes for a in engine.agent_ids]
+    report_lines(
+        "E15 Fig. 11 - (6,2)-node ring: estimates and move counts",
+        [
+            f"estimated n' per agent: {estimates} (fundamental N = 6, true n = 12)",
+            f"total moves per agent: {totals} (12N = 72 plus <= 2N deployment)",
+        ],
+    )
+    assert all(estimate == 6 for estimate in estimates)
+    assert all(72 <= total <= 84 for total in totals)

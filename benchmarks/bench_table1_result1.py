@@ -1,0 +1,119 @@
+"""E1 — Table 1, Result 1: Algorithm 1 (knowledge of k, O(k log n) memory).
+
+Paper claims: memory O(k log n), ideal time O(n), total moves O(kn).
+The n-sweep fixes k and checks time ~ n and moves ~ n (slope ~ 1 in
+log-log space); the k-sweep fixes n and checks moves ~ k and memory ~ k.
+Absolute constants are also asserted (time <= 3n, moves <= 3kn).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.complexity import loglog_slope
+from repro.experiments.runner import run_experiment
+from repro.ring.placement import random_placement
+
+from benchmarks.conftest import report
+
+import random
+
+ALGO = "known_k_full"
+N_SWEEP = [64, 128, 256, 512]
+K_SWEEP = [4, 8, 16, 32]
+FIXED_K = 8
+FIXED_N = 256
+
+
+def _run_sweep(pairs, seed=1):
+    rng = random.Random(seed)
+    return [run_experiment(ALGO, random_placement(n, k, rng)) for n, k in pairs]
+
+
+def test_result1_time_scales_linearly_in_n(benchmark):
+    results = benchmark.pedantic(
+        _run_sweep, args=([(n, FIXED_K) for n in N_SWEEP],), rounds=1, iterations=1
+    )
+    times = [r.ideal_time for r in results]
+    slope = loglog_slope(N_SWEEP, times)
+    rows = [
+        {
+            "n": r.placement.ring_size,
+            "k": FIXED_K,
+            "ideal_time": r.ideal_time,
+            "time/n": round(r.ideal_time / r.placement.ring_size, 2),
+            "total_moves": r.total_moves,
+            "uniform": r.ok,
+        }
+        for r in results
+    ]
+    report(
+        "E1 Result 1 (Alg. 1) - time vs n  [paper: O(n)]",
+        rows,
+        notes=f"log-log slope = {slope:.2f} (expect ~1.0)",
+    )
+    assert all(r.ok for r in results)
+    assert 0.7 <= slope <= 1.3
+    assert all(r.ideal_time <= 3 * r.placement.ring_size + 5 for r in results)
+
+
+def test_result1_moves_scale_linearly_in_k(benchmark):
+    results = benchmark.pedantic(
+        _run_sweep, args=([(FIXED_N, k) for k in K_SWEEP],), rounds=1, iterations=1
+    )
+    moves = [r.total_moves for r in results]
+    slope = loglog_slope(K_SWEEP, moves)
+    rows = [
+        {
+            "n": FIXED_N,
+            "k": r.placement.agent_count,
+            "total_moves": r.total_moves,
+            "moves/kn": round(r.total_moves / (r.placement.agent_count * FIXED_N), 2),
+            "uniform": r.ok,
+        }
+        for r in results
+    ]
+    report(
+        "E1 Result 1 (Alg. 1) - moves vs k  [paper: O(kn)]",
+        rows,
+        notes=f"log-log slope = {slope:.2f} (expect ~1.0)",
+    )
+    assert all(r.ok for r in results)
+    assert 0.7 <= slope <= 1.3
+    assert all(
+        r.total_moves <= 3 * r.placement.agent_count * FIXED_N for r in results
+    )
+
+
+def test_result1_memory_scales_linearly_in_k(benchmark):
+    def sweep():
+        rng = random.Random(2)
+        return [
+            run_experiment(
+                ALGO, random_placement(FIXED_N, k, rng), memory_audit_interval=1
+            )
+            for k in K_SWEEP
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    memory = [r.max_memory_bits for r in results]
+    slope = loglog_slope(K_SWEEP, memory)
+    rows = [
+        {
+            "n": FIXED_N,
+            "k": r.placement.agent_count,
+            "memory_bits": r.max_memory_bits,
+            "bits/(k log n)": round(
+                r.max_memory_bits
+                / (r.placement.agent_count * math.log2(FIXED_N)),
+                2,
+            ),
+        }
+        for r in results
+    ]
+    report(
+        "E1 Result 1 (Alg. 1) - memory vs k  [paper: O(k log n)]",
+        rows,
+        notes=f"log-log slope = {slope:.2f} (expect ~1.0: memory is Theta(k log n))",
+    )
+    assert 0.6 <= slope <= 1.3

@@ -1,0 +1,43 @@
+"""Benchmark-suite plumbing: experiment tables in the terminal summary.
+
+Every benchmark registers the rows it measured via :func:`report`;
+``pytest_terminal_summary`` prints them after the pytest-benchmark
+tables (the terminal summary is never captured, so the paper-level
+tables always reach the console and ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def report(title: str, rows: Iterable[Dict[str, object]], notes: str = "") -> None:
+    """Register a formatted experiment table for the terminal summary."""
+    from repro.experiments.table1 import format_rows
+
+    body = format_rows(list(rows))
+    text = body if not notes else f"{body}\n  note: {notes}"
+    _REPORTS.append((title, text))
+
+
+def report_lines(title: str, lines: Sequence[str]) -> None:
+    """Register free-form lines (for non-tabular experiment output)."""
+    _REPORTS.append((title, "\n".join(lines)))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("PAPER EXPERIMENT TABLES (see EXPERIMENTS.md for the index)")
+    write("=" * 78)
+    for title, text in _REPORTS:
+        write("")
+        write(f"--- {title} ---")
+        for line in text.splitlines():
+            write(line)
+    write("")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Asynchrony in action: one configuration, four adversarial schedules.
+
+The model quantifies over *all* fair schedules.  This demo runs the
+same initial configuration under a synchronous round-robin, a seeded
+random adversary, a laggard adversary (starves two chosen agents as
+long as fairness allows) and a burst adversary (runs one agent in long
+exclusive bursts) — and shows that every algorithm reaches the same
+uniform configuration regardless, with Algorithm 1 even making exactly
+the same moves (it is deterministic per agent).
+
+Run:  python examples/adversarial_schedules.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import run_experiment
+from repro.ring.placement import random_placement
+from repro.sim.scheduler import (
+    BurstScheduler,
+    LaggardScheduler,
+    RandomScheduler,
+    SynchronousScheduler,
+)
+
+
+def main() -> None:
+    placement = random_placement(36, 6, random.Random(99))
+    print("configuration:", placement.describe())
+    print()
+    for algorithm in ("known_k_full", "known_k_logspace", "unknown"):
+        print(f"{algorithm}:")
+        baseline = None
+        for scheduler in (
+            SynchronousScheduler(),
+            RandomScheduler(seed=7),
+            LaggardScheduler([0, 3], patience=100, seed=7),
+            BurstScheduler(burst=50, seed=7),
+        ):
+            result = run_experiment(algorithm, placement, scheduler=scheduler)
+            marker = "ok" if result.ok else "FAILED"
+            same = (
+                "(same final set)"
+                if baseline is None or result.final_positions == baseline
+                else "(different final set)"
+            )
+            if baseline is None:
+                baseline = result.final_positions
+                same = ""
+            print(
+                f"  {scheduler.describe():<48} {marker:>3}  "
+                f"moves={result.total_moves:<6} {same}"
+            )
+        print()
+    print(
+        "Fairness is the only assumption the algorithms need: the FIFO "
+        "links prevent overtaking, which is exactly what the paper's "
+        "correctness arguments use."
+    )
+
+
+if __name__ == "__main__":
+    main()

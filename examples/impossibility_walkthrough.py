@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Theorem 5 walkthrough: why knowledge (of k or n) is necessary.
+
+Without knowing k or n, no algorithm can solve uniform deployment
+*with termination detection*.  The proof is a deception argument, and
+this script executes it:
+
+1. pick a ring R where the algorithm works (n=24, k=4, gap d=6),
+2. build the expanded ring R' (2qn+2n nodes) whose occupied prefix
+   repeats R's layout q+1 times,
+3. replay both rings in lockstep: Lemma 1 says the window nodes are
+   locally indistinguishable — measured agreement is exactly 1.0,
+4. let the deceived agents run to completion on R': they halt at
+   spacing d where R' demands 2d.  Uniformity fails, as proven.
+
+Run:  python examples/impossibility_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.render import render_positions
+from repro.experiments.figures import figure
+from repro.experiments.impossibility import (
+    demonstrate_impossibility,
+    lemma1_window_agreement,
+)
+
+
+def main() -> None:
+    base = figure("theorem_5_base").placement
+    print("step 1 - the base ring R:", base.describe())
+    print("  ", render_positions(base.ring_size, base.homes))
+    print()
+
+    outcome = demonstrate_impossibility(base)
+    print(
+        f"step 2 - the expanded ring R': {outcome.expanded.ring_size} nodes, "
+        f"{outcome.expanded.agent_count} agents (q = {outcome.q}, "
+        f"T(E_R) = {outcome.rounds_in_base} rounds)"
+    )
+    print(
+        f"  required uniform gap on R': 2d = {outcome.expanded_gap} "
+        f"(R's gap was d = {outcome.base_gap})"
+    )
+    print()
+
+    agreement = lemma1_window_agreement(base, rounds=32)
+    print("step 3 - Lemma 1 lockstep replay (local-configuration agreement")
+    print("  of window nodes, per round):")
+    print(f"  {['%.1f' % value for value in agreement[:16]]} ...")
+    print(f"  min agreement over {len(agreement)} rounds: {min(agreement):.3f}")
+    print()
+
+    print("step 4 - the deceived agents run to completion on R':")
+    print(
+        "  halted positions:",
+        outcome.final_positions,
+    )
+    print(
+        f"  gaps inside the repeated window: {outcome.observed_prefix_gaps} "
+        f"(= d, never 2d)"
+    )
+    print(f"  uniform on R'? {outcome.report.ok}")
+    print()
+    print(
+        "Conclusion: the agents cannot distinguish R' from R in time, so "
+        "they terminate too early — exactly Theorem 5. The relaxed "
+        "algorithm (Algorithms 4-6) escapes this by never *detecting* "
+        "termination: suspended agents remain correctable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Figure 9 walk-through: misestimation and recovery without knowledge.
+
+The n = 27, k = 9 ring of Figure 9 contains the distance pattern
+(1,3,1,3,1,3,1,3): an agent whose first eight measured gaps form that
+4-fold repetition estimates n' = 4 and suspends at a wrong target.
+An agent that measured the full aperiodic sequence knows n = 27,
+meets the sleeper during its patrol, and sends its estimate; the
+sleeper wakes, re-bases, and finishes correctly.
+
+This script replays the run and narrates the estimate lifecycle per
+agent (first estimate -> corrections -> final estimate).
+
+Run:  python examples/misestimation_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.render import render_positions
+from repro.analysis.verification import verify_uniform_deployment
+from repro.experiments.runner import build_engine
+from repro.ring.placement import placement_from_distances
+from repro.sim.trace import TraceEventKind, TraceRecorder
+
+
+def main() -> None:
+    placement = placement_from_distances((11, 1, 3, 1, 3, 1, 3, 1, 3))
+    print("Figure 9 ring:", placement.describe())
+    print("  ", render_positions(placement.ring_size, placement.homes))
+    print()
+
+    trace = TraceRecorder(
+        keep=lambda e: e.kind in (TraceEventKind.BROADCAST, TraceEventKind.WAKE)
+    )
+    engine = build_engine("unknown", placement, trace=trace)
+
+    # Record each agent's estimate whenever it changes.
+    histories = {agent_id: [] for agent_id in engine.agent_ids}
+    while not engine.quiescent:
+        engine.run_rounds(1)
+        for agent_id in engine.agent_ids:
+            estimate = engine.agent(agent_id).n_est
+            if estimate is not None and (
+                not histories[agent_id] or histories[agent_id][-1] != estimate
+            ):
+                histories[agent_id].append(estimate)
+
+    print("estimate lifecycle per agent (n' values in order of adoption):")
+    for agent_id, history in histories.items():
+        arrow = " -> ".join(str(value) for value in history)
+        note = "  <- misestimated, then corrected" if len(history) > 1 else ""
+        print(f"  agent {agent_id}: {arrow}{note}")
+    print()
+
+    corrections = trace.of_kind(TraceEventKind.BROADCAST)
+    wakes = trace.of_kind(TraceEventKind.WAKE)
+    print(f"patrol messages sent: {len(corrections)}; sleepers woken: {len(wakes)}")
+    print()
+
+    report = verify_uniform_deployment(engine, require_suspended=True)
+    positions = sorted(engine.final_positions().values())
+    print("final configuration:", report.describe())
+    print("  ", render_positions(placement.ring_size, positions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: uniform deployment on an asynchronous ring in ~20 lines.
+
+Builds the paper's Figure 4-style configuration (n = 24, k = 6 with a
+2-fold symmetric layout), runs all three algorithms and prints what
+happened.  Run:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import run_experiment
+from repro.analysis.render import render_gaps, render_positions
+from repro.ring.placement import periodic_placement
+
+
+def main() -> None:
+    # Figure 4 shows a 2-symmetric ring: two base nodes, 3 agents per
+    # segment.  Block (1, 4, 7) repeated twice -> n = 24, k = 6, l = 2.
+    placement = periodic_placement((1, 4, 7), 2)
+    print("initial configuration:", placement.describe())
+    print("  ", render_positions(placement.ring_size, placement.homes))
+    print()
+
+    for algorithm in ("known_k_full", "known_k_logspace", "unknown"):
+        result = run_experiment(algorithm, placement)
+        print(f"{algorithm}:")
+        print(f"  uniform deployment: {result.ok}")
+        print(f"  final positions   : {result.final_positions}")
+        print(
+            "   ",
+            render_positions(placement.ring_size, result.final_positions),
+        )
+        print(f"  {render_gaps(placement.ring_size, result.final_positions)}")
+        print(
+            f"  total moves = {result.total_moves}, "
+            f"ideal time = {result.ideal_time}, "
+            f"max agent memory = {result.max_memory_bits} bits"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

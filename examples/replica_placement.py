@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Database-replica placement: the paper's load-balancing motivation (§1.1).
+
+Agents carry large database replicas.  Not every node can store the
+database, but every node should reach a replica quickly.  Uniform
+deployment of the replica-carrying agents minimises the worst-case
+access distance: it drops from O(n) (all replicas in one data centre)
+to ceil(n/k).
+
+The demo also shows Result 4's adaptivity: when the operator has
+already spread the replicas partially (a symmetric configuration), the
+no-knowledge algorithm finishes proportionally faster.
+
+Run:  python examples/replica_placement.py
+"""
+
+from __future__ import annotations
+
+from repro import run_experiment
+from repro.analysis.render import render_positions
+from repro.experiments.table1 import symmetry_placement
+from repro.ring.placement import Placement
+
+
+def max_access_distance(ring_size: int, replica_nodes) -> int:
+    """Worst distance from any node to the nearest replica downstream."""
+    ordered = sorted(replica_nodes)
+    gaps = [
+        (ordered[(i + 1) % len(ordered)] - ordered[i]) % ring_size or ring_size
+        for i in range(len(ordered))
+    ]
+    return max(gaps) - 1  # the node right after a replica waits gap-1 hops
+
+
+def main() -> None:
+    n, k = 60, 6
+    clustered = Placement(ring_size=n, homes=tuple(range(k)))
+    print(f"storage ring: n = {n}, k = {k} replica-carrying agents")
+    print("initially all replicas sit in one data centre:")
+    print("  ", render_positions(n, clustered.homes))
+    print(f"  worst access distance: {max_access_distance(n, clustered.homes)} hops")
+    print()
+
+    result = run_experiment("unknown", clustered)
+    assert result.ok
+    print("after relaxed uniform deployment (no knowledge of k or n):")
+    print("  ", render_positions(n, result.final_positions))
+    print(f"  worst access distance: {max_access_distance(n, result.final_positions)} hops")
+    print(f"  cost: {result.total_moves} moves, {result.ideal_time} time units")
+    print()
+
+    print("Result 4 adaptivity - partially pre-spread replicas finish faster:")
+    print(f"  {'l':>2}  {'moves':>7}  {'time':>6}")
+    for degree in (1, 2, 3, 6):
+        placement = symmetry_placement(n, k, degree, seed=1)
+        adaptive = run_experiment("unknown", placement)
+        assert adaptive.ok
+        print(
+            f"  {placement.symmetry_degree:>2}  {adaptive.total_moves:>7}  "
+            f"{adaptive.ideal_time:>6}"
+        )
+    print("  (moves and time shrink ~1/l: closer to uniform = cheaper, Theorem 6)")
+
+
+if __name__ == "__main__":
+    main()

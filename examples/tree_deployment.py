@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Uniform deployment beyond rings: trees and general graphs (paper §5).
+
+The conclusion of the paper sketches the extension: embed a virtual
+ring in the network (Euler tour of a tree, or of a spanning tree for a
+general graph) and run the ring algorithms unchanged.  This demo
+deploys monitoring agents over a random tree and a random graph and
+reports both the virtual-ring guarantee and the tree-level spread.
+
+Run:  python examples/tree_deployment.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.embedding.deploy import deploy_on_graph, deploy_on_tree
+from repro.embedding.general import random_connected_graph
+from repro.embedding.tree import random_tree
+
+
+def main() -> None:
+    rng = random.Random(2024)
+
+    tree = random_tree(24, rng)
+    agents = [1, 7, 13, 19]
+    print(f"tree network: {tree.size} nodes; agents start at {agents}")
+    outcome = deploy_on_tree(tree, agents, algorithm="known_k_full")
+    print(f"  virtual ring size          : {outcome.ring.size} (= 2(n-1))")
+    print(f"  uniform on virtual ring    : {outcome.ok}")
+    print(f"  final tree nodes           : {sorted(outcome.tree_positions)}")
+    print(f"  distinct tree nodes        : {outcome.distinct_tree_nodes}/{len(agents)}")
+    print(f"  min pairwise tree distance : {outcome.min_tree_distance}")
+    print(f"  total (virtual) moves      : {outcome.virtual.total_moves}")
+    print()
+
+    graph = random_connected_graph(24, 14, rng)
+    print(f"general graph: {graph.size} nodes, {len(graph.edges)} edges")
+    outcome = deploy_on_graph(graph, agents, algorithm="known_k_logspace")
+    print(f"  spanning-tree virtual ring : {outcome.ring.size} nodes")
+    print(f"  uniform on virtual ring    : {outcome.ok}")
+    print(f"  final graph nodes          : {sorted(outcome.tree_positions)}")
+    print(f"  min pairwise tree distance : {outcome.min_tree_distance}")
+    print()
+    print(
+        "The virtual ring has 2(n-1) nodes, so total moves stay within a "
+        "factor ~2 of the ring bounds - the asymptotic equivalence the "
+        "paper notes in Section 5."
+    )
+
+
+if __name__ == "__main__":
+    main()

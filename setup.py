@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (offline, no wheel package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""Uniform deployment of mobile agents in asynchronous unidirectional rings.
+
+A from-scratch reproduction of Shibata, Mega, Ooshita, Kakugawa,
+Masuzawa — "Uniform deployment of mobile agents in asynchronous rings"
+(PODC 2016; JPDC 119, 2018).  See README.md for a tour and DESIGN.md for
+the paper-to-module map.
+
+Public API highlights:
+
+>>> import random
+>>> from repro import run_experiment, random_placement
+>>> placement = random_placement(60, 6, random.Random(1))
+>>> result = run_experiment("known_k_full", placement)
+>>> result.ok
+True
+"""
+
+from repro.analysis.verification import (
+    VerificationReport,
+    allowed_gaps,
+    require_uniform_deployment,
+    verify_positions,
+    verify_uniform_deployment,
+)
+from repro.core.known_k_full import KnownKFullAgent
+from repro.core.known_k_logspace import KnownKLogSpaceAgent
+from repro.core.known_n_full import KnownNFullAgent
+from repro.core.unknown import UnknownKAgent
+from repro.errors import (
+    ConfigurationError,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+    SimulationLimitExceeded,
+    VerificationError,
+)
+from repro.experiments.runner import ALGORITHMS, RunResult, run_experiment
+from repro.ring.placement import (
+    Placement,
+    equidistant_placement,
+    periodic_placement,
+    placement_from_distances,
+    quarter_packed_placement,
+    random_placement,
+)
+from repro.sim.engine import Engine
+from repro.sim.scheduler import (
+    BurstScheduler,
+    LaggardScheduler,
+    RandomScheduler,
+    SynchronousScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BurstScheduler",
+    "ConfigurationError",
+    "Engine",
+    "KnownKFullAgent",
+    "KnownKLogSpaceAgent",
+    "KnownNFullAgent",
+    "LaggardScheduler",
+    "Placement",
+    "ProtocolViolation",
+    "RandomScheduler",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "SynchronousScheduler",
+    "UnknownKAgent",
+    "VerificationError",
+    "VerificationReport",
+    "allowed_gaps",
+    "equidistant_placement",
+    "periodic_placement",
+    "placement_from_distances",
+    "quarter_packed_placement",
+    "random_placement",
+    "require_uniform_deployment",
+    "run_experiment",
+    "verify_positions",
+    "verify_uniform_deployment",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""ASCII charts for sweep results (no plotting dependency).
+
+Benchmarks and the CLI print tables; for eyeballing trends a bar chart
+is faster.  :func:`bar_chart` renders labelled horizontal bars scaled
+to the largest value; :func:`scaling_chart` renders an (x, y) series
+with per-point bars plus the fitted log-log slope, which is how the
+Table 1 sweeps are summarised in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.complexity import loglog_slope
+from repro.errors import ConfigurationError
+
+__all__ = ["bar_chart", "scaling_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render horizontal bars, one per (label, value), scaled to width."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must have equal length")
+    if not values:
+        return "(no data)"
+    if any(value < 0 for value in values):
+        raise ConfigurationError("bar chart values must be non-negative")
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        suffix = f" {value:g}{unit}"
+        lines.append(f"{str(label).rjust(label_width)} | {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def scaling_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_name: str = "x",
+    y_name: str = "y",
+    width: int = 50,
+    expected_slope: Optional[float] = None,
+) -> str:
+    """Bar chart of a sweep plus its log-log slope annotation."""
+    labels = [f"{x_name}={x:g}" for x in xs]
+    body = bar_chart(labels, list(ys), width=width)
+    slope = loglog_slope(xs, ys)
+    footer = f"log-log slope of {y_name} vs {x_name}: {slope:.2f}"
+    if expected_slope is not None:
+        footer += f" (expected ~{expected_slope:g})"
+    return f"{body}\n{footer}"

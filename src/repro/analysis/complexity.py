@@ -1,0 +1,75 @@
+"""Empirical scaling checks for Table 1's O(.) claims (E1, E2, E4).
+
+Benchmarks validate asymptotic claims with two tools:
+
+* :func:`loglog_slope` — least-squares slope in log-log space; a
+  measured quantity growing as ``Theta(x^a)`` yields slope ``~ a``.
+* :func:`bound_ratio_spread` — ``measured / bound`` across a sweep; a
+  correct O(bound) claim keeps the ratio bounded (spread close to the
+  largest ratio, no upward drift).
+
+Pure Python (math only) so the core library stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["loglog_slope", "bound_ratio_spread", "ratios", "is_bounded_by"]
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    Requires at least two strictly positive points.  For measurements
+    ``y = c * x^a`` (exactly), returns ``a``.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    points = [
+        (math.log(x), math.log(y)) for x, y in zip(xs, ys) if x > 0 and y > 0
+    ]
+    if len(points) < 2:
+        raise ConfigurationError("need at least two positive points for a slope")
+    mean_x = sum(p[0] for p in points) / len(points)
+    mean_y = sum(p[1] for p in points) / len(points)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    if denominator == 0:
+        raise ConfigurationError("all x values identical; slope undefined")
+    return numerator / denominator
+
+
+def ratios(
+    measurements: Sequence[Tuple[float, float]],
+    bound: Callable[[float], float],
+) -> List[float]:
+    """Return ``y / bound(x)`` for every measurement ``(x, y)``."""
+    result = []
+    for x, y in measurements:
+        denominator = bound(x)
+        if denominator <= 0:
+            raise ConfigurationError(f"bound({x}) = {denominator} must be positive")
+        result.append(y / denominator)
+    return result
+
+
+def bound_ratio_spread(
+    measurements: Sequence[Tuple[float, float]],
+    bound: Callable[[float], float],
+) -> Tuple[float, float]:
+    """Return ``(min ratio, max ratio)`` of measured over bound."""
+    values = ratios(measurements, bound)
+    return min(values), max(values)
+
+
+def is_bounded_by(
+    measurements: Sequence[Tuple[float, float]],
+    bound: Callable[[float], float],
+    constant: float,
+) -> bool:
+    """True when every measurement is within ``constant * bound(x)``."""
+    return all(ratio <= constant for ratio in ratios(measurements, bound))

@@ -1,0 +1,159 @@
+"""Executable model invariants checked against execution traces.
+
+DESIGN.md Section 5 lists the invariants the paper's proofs rely on.
+This module turns them into trace predicates so property tests (and
+suspicious users) can verify any run:
+
+* **I1 FIFO link order** — for every node, the order of arrivals
+  equals the order of entries into the incoming link (a MOVE at the
+  predecessor node, or the initial home buffer).  This is exactly the
+  model's no-overtaking guarantee: an agent can pass a *staying* agent
+  (patrollers pass suspended sleepers; actives lap parked followers)
+  but never reorders inside a queue (see :func:`check_fifo_order`).
+* **I2 Token monotonicity** — token counts never decrease, and exactly
+  one token release per agent.
+* **I3 Single placement** — an agent settles at most once per arrival
+  and is never in two places (enforced structurally by the Ring; the
+  trace check validates arrive/settle/move pairing).
+* **I4 Terminal stability** — after an agent's HALT event it never
+  appears in the trace again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
+
+__all__ = [
+    "InvariantReport",
+    "check_fifo_order",
+    "check_token_events",
+    "check_action_pairing",
+    "check_halt_stability",
+    "check_all",
+]
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of the invariant checks over one trace."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def describe(self) -> str:
+        if self.ok:
+            return "all invariants hold"
+        return "; ".join(self.violations)
+
+
+def check_fifo_order(
+    trace: TraceRecorder,
+    report: InvariantReport,
+    ring_size: int,
+    homes: Tuple[int, ...],
+) -> None:
+    """I1: per-node arrival order equals incoming-link entry order.
+
+    The queue into node ``v`` is fed by MOVE events at node ``v-1``
+    (and, at time zero, by the initial home buffers).  A legal run
+    dequeues strictly in entry order, so the ARRIVE sequence at ``v``
+    must be a prefix of the entry sequence (a proper prefix only when
+    agents are still queued at the end of the trace).
+    """
+    entries: Dict[int, List[int]] = {node: [] for node in range(ring_size)}
+    for agent_id, home in enumerate(homes):
+        entries[home].append(agent_id)  # the paper's initial buffers
+    arrivals: Dict[int, List[int]] = {node: [] for node in range(ring_size)}
+    for event in trace.events:
+        if event.kind is TraceEventKind.MOVE:
+            entries[(event.node + 1) % ring_size].append(event.agent_id)
+        elif event.kind is TraceEventKind.ARRIVE:
+            arrivals[event.node].append(event.agent_id)
+    for node in range(ring_size):
+        entered = entries[node]
+        arrived = arrivals[node]
+        if arrived != entered[: len(arrived)]:
+            report.add(
+                f"node {node}: arrival order {arrived[:8]}... diverges from "
+                f"link entry order {entered[:8]}... (queue reorder)"
+            )
+
+
+def check_token_events(
+    trace: TraceRecorder, report: InvariantReport, agent_count: int
+) -> None:
+    """I2: exactly one token release per agent, at its first node."""
+    releases = trace.of_kind(TraceEventKind.TOKEN)
+    by_agent: Dict[int, int] = {}
+    for event in releases:
+        by_agent[event.agent_id] = by_agent.get(event.agent_id, 0) + 1
+    for agent, count in by_agent.items():
+        if count != 1:
+            report.add(f"agent {agent} released {count} tokens")
+    if len(by_agent) != agent_count:
+        report.add(
+            f"{len(by_agent)}/{agent_count} agents released a token"
+        )
+
+
+def check_action_pairing(trace: TraceRecorder, report: InvariantReport) -> None:
+    """I3: every arrival is followed by exactly one MOVE or SETTLE."""
+    pending: Dict[int, TraceEvent] = {}
+    for event in trace.events:
+        if event.kind in (TraceEventKind.ARRIVE, TraceEventKind.ACT_IN_PLACE):
+            if event.agent_id in pending:
+                report.add(
+                    f"agent {event.agent_id} activated twice without "
+                    f"resolving its previous action (step {event.step})"
+                )
+            pending[event.agent_id] = event
+        elif event.kind in (TraceEventKind.MOVE, TraceEventKind.SETTLE):
+            started = pending.pop(event.agent_id, None)
+            if started is None:
+                report.add(
+                    f"agent {event.agent_id} moved/settled without an "
+                    f"activation (step {event.step})"
+                )
+            elif started.node != event.node:
+                report.add(
+                    f"agent {event.agent_id} activated at node "
+                    f"{started.node} but resolved at node {event.node}"
+                )
+    for agent, event in pending.items():
+        report.add(
+            f"agent {agent} has an unresolved activation at step {event.step}"
+        )
+
+
+def check_halt_stability(trace: TraceRecorder, report: InvariantReport) -> None:
+    """I4: no event for an agent after its HALT event."""
+    halted_at: Dict[int, int] = {}
+    for event in trace.events:
+        if event.agent_id in halted_at and event.step > halted_at[event.agent_id]:
+            report.add(
+                f"agent {event.agent_id} acted at step {event.step} after "
+                f"halting at step {halted_at[event.agent_id]}"
+            )
+        if event.kind is TraceEventKind.HALT:
+            halted_at[event.agent_id] = event.step
+
+
+def check_all(
+    trace: TraceRecorder, ring_size: int, homes: Tuple[int, ...]
+) -> InvariantReport:
+    """Run every invariant check; a full (unfiltered) trace is required."""
+    report = InvariantReport()
+    check_fifo_order(trace, report, ring_size, homes)
+    check_token_events(trace, report, len(homes))
+    check_action_pairing(trace, report)
+    check_halt_stability(trace, report)
+    return report

@@ -1,0 +1,77 @@
+"""ASCII rendering of ring configurations (used by the examples).
+
+Renders a ring as a single line of cells, marking agent homes, tokens
+and current agent positions — enough to eyeball an execution without
+any plotting dependency:
+
+    n=12  [A]..[a][T].[a]...[T]..
+           0   3  4    6       10
+
+Legend: ``A`` agent staying on a token node, ``a`` agent staying on a
+plain node, ``T`` token only, ``.`` empty node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.ring.configuration import Configuration
+
+__all__ = ["render_positions", "render_configuration", "render_gaps"]
+
+
+def render_positions(
+    ring_size: int,
+    agent_nodes: Sequence[int],
+    token_nodes: Sequence[int] = (),
+    width: int = 1,
+) -> str:
+    """Render explicit agent/token positions as one text line."""
+    agents = {node % ring_size for node in agent_nodes}
+    tokens = {node % ring_size for node in token_nodes}
+    cells = []
+    for node in range(ring_size):
+        if node in agents and node in tokens:
+            cells.append("A")
+        elif node in agents:
+            cells.append("a")
+        elif node in tokens:
+            cells.append("T")
+        else:
+            cells.append(".")
+    return "".join(cell * width for cell in cells)
+
+
+def render_configuration(snapshot: Configuration) -> str:
+    """Render an engine snapshot: staying agents, queues and tokens."""
+    cells = []
+    for node in range(snapshot.ring_size):
+        staying = len(snapshot.staying.get(node, ()))
+        queued = len(snapshot.queues.get(node, ()))
+        tokens = snapshot.tokens[node]
+        if staying > 1:
+            cell = str(min(staying, 9))
+        elif staying == 1:
+            cell = "A" if tokens else "a"
+        elif queued:
+            cell = ">"
+        elif tokens:
+            cell = "T"
+        else:
+            cell = "."
+        cells.append(cell)
+    return "".join(cells)
+
+
+def render_gaps(ring_size: int, agent_nodes: Sequence[int]) -> str:
+    """Summarise the gap multiset, e.g. ``gaps: 4 x3, 5 x1``."""
+    ordered = sorted(node % ring_size for node in agent_nodes)
+    if not ordered:
+        return "gaps: (none)"
+    counts: Dict[int, int] = {}
+    for index, node in enumerate(ordered):
+        nxt = ordered[(index + 1) % len(ordered)]
+        gap = (nxt - node) % ring_size or ring_size
+        counts[gap] = counts.get(gap, 0) + 1
+    parts = [f"{gap} x{count}" for gap, count in sorted(counts.items())]
+    return "gaps: " + ", ".join(parts)

@@ -1,0 +1,277 @@
+"""Distance-sequence toolkit (paper Sections 2.1, 3.1 and 4.2).
+
+The paper reasons about initial configurations through their *distance
+sequences*: for agents ``a_0 .. a_{k-1}`` in ring order, the sequence
+``D_i = (d_0, ..., d_{k-1})`` lists the gap from each agent's home node to
+the next agent's home node, starting at ``a_i``.  Three notions built on
+top of distance sequences drive all three algorithms:
+
+* the **lexicographically minimal rotation** (Algorithm 1 and the
+  deployment phase of Algorithms 4-6 select base nodes through it),
+* the **minimal period** and the derived **symmetry degree** ``l``
+  (Section 2.1 and Figure 1), and
+* the **4-fold repetition test** of the estimating phase (Algorithm 4)
+  together with the Lemma-2 prefix property used in its analysis.
+
+All functions are pure and operate on plain sequences of non-negative
+integers, so they are reusable both inside agents (operating on the
+distances an agent measured) and in offline analysis of configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "shift",
+    "minimal_rotation_index",
+    "minimal_rotation",
+    "rotation_rank",
+    "minimal_period",
+    "symmetry_degree",
+    "is_periodic",
+    "is_fourfold_repetition",
+    "fourfold_prefix_period",
+    "distances_from_positions",
+    "positions_from_distances",
+    "configuration_distance_sequence",
+    "prefix_alignment_shift",
+]
+
+
+def shift(sequence: Sequence[int], amount: int) -> Tuple[int, ...]:
+    """Return ``shift(D, x) = (d_x, ..., d_{k-1}, d_0, ..., d_{x-1})``.
+
+    This is the paper's rotation operator (Section 2.1).  ``amount`` may be
+    any integer; it is reduced modulo the sequence length.  Rotating the
+    empty sequence returns the empty tuple.
+    """
+    items = tuple(sequence)
+    if not items:
+        return items
+    amount %= len(items)
+    return items[amount:] + items[:amount]
+
+
+def minimal_rotation_index(sequence: Sequence[int]) -> int:
+    """Return the smallest ``x`` with ``shift(D, x)`` lexicographically minimal.
+
+    Implemented with Booth's algorithm, which runs in O(k) time and O(k)
+    auxiliary space.  Ties (which occur exactly when the sequence is
+    periodic) are broken toward the smallest index, matching the paper's
+    ``rank = min{x >= 0 | shift(D, x) = Dmin}`` (Algorithm 1, line 14).
+    """
+    items = tuple(sequence)
+    n = len(items)
+    if n == 0:
+        return 0
+    doubled = items + items
+    failure = [-1] * (2 * n)
+    best = 0
+    for index in range(1, 2 * n):
+        symbol = doubled[index]
+        candidate = failure[index - best - 1]
+        while candidate != -1 and symbol != doubled[best + candidate + 1]:
+            if symbol < doubled[best + candidate + 1]:
+                best = index - candidate - 1
+            candidate = failure[candidate]
+        if symbol != doubled[best + candidate + 1]:
+            if symbol < doubled[best]:
+                best = index
+            failure[index - best] = -1
+        else:
+            failure[index - best] = candidate + 1
+    return best % n
+
+
+def minimal_rotation(sequence: Sequence[int]) -> Tuple[int, ...]:
+    """Return the lexicographically minimal rotation ``Dmin`` itself."""
+    return shift(sequence, minimal_rotation_index(sequence))
+
+
+def rotation_rank(sequence: Sequence[int]) -> int:
+    """Return the paper's ``rank`` for an agent observing ``sequence``.
+
+    ``rank`` is the minimal ``x`` such that ``shift(D, x)`` equals the
+    minimal rotation (Algorithm 1, line 14; Algorithm 6, line 3).  It
+    equals :func:`minimal_rotation_index` and is provided under the
+    paper's name for readability at call sites.
+    """
+    return minimal_rotation_index(sequence)
+
+
+def minimal_period(sequence: Sequence[int]) -> int:
+    """Return the smallest ``p > 0`` with ``shift(D, p) == D``.
+
+    For an aperiodic sequence this is ``len(sequence)``.  Computed with the
+    Knuth-Morris-Pratt failure function in O(k): the candidate period is
+    ``k - failure[k-1]`` and it is a true rotation period only when it
+    divides ``k`` (standard border argument).
+    """
+    items = tuple(sequence)
+    n = len(items)
+    if n == 0:
+        return 0
+    failure = [0] * n
+    length = 0
+    for index in range(1, n):
+        while length > 0 and items[index] != items[length]:
+            length = failure[length - 1]
+        if items[index] == items[length]:
+            length += 1
+        failure[index] = length
+    candidate = n - failure[n - 1]
+    if candidate != n and n % candidate == 0:
+        return candidate
+    return n
+
+
+def is_periodic(sequence: Sequence[int]) -> bool:
+    """Return ``True`` when ``shift(D, x) == D`` for some ``0 < x < k``."""
+    items = tuple(sequence)
+    return len(items) > 0 and minimal_period(items) < len(items)
+
+
+def symmetry_degree(sequence: Sequence[int]) -> int:
+    """Return the symmetry degree ``l = k / p`` of a distance sequence.
+
+    ``p`` is the minimal period; ``l`` is the number of repetitions of the
+    aperiodic fundamental block (Section 2.1 and Figure 1).  ``l == 1``
+    for aperiodic sequences and ``l == k`` for the all-equal sequence of a
+    uniformly deployed configuration.
+    """
+    items = tuple(sequence)
+    if not items:
+        raise ConfigurationError("symmetry degree of an empty sequence is undefined")
+    return len(items) // minimal_period(items)
+
+
+def is_fourfold_repetition(sequence: Sequence[int]) -> bool:
+    """Return ``True`` when ``D == S^4`` for the length-``k/4`` prefix ``S``.
+
+    This is the stopping rule of the estimating phase (Algorithm 4,
+    line 7): the agent stops once the distances it observed so far consist
+    of exactly four repetitions of their first quarter.
+    """
+    items = tuple(sequence)
+    n = len(items)
+    if n == 0 or n % 4 != 0:
+        return False
+    quarter = n // 4
+    block = items[:quarter]
+    return items == block * 4
+
+
+def fourfold_prefix_period(sequence: Sequence[int]) -> Optional[int]:
+    """Return the quarter length ``k'`` if ``sequence`` is a 4-fold repetition.
+
+    Returns ``None`` otherwise.  The estimating phase uses this to read
+    off its estimated agent count ``k' = j/4``.
+    """
+    if is_fourfold_repetition(sequence):
+        return len(sequence) // 4
+    return None
+
+
+def distances_from_positions(positions: Sequence[int], ring_size: int) -> Tuple[int, ...]:
+    """Return the distance sequence of agents sitting at ``positions``.
+
+    ``positions`` are node indices on a ring of ``ring_size`` nodes; they
+    are sorted into ring order first.  The ``i``-th entry is the forward
+    gap from the ``i``-th occupied node to the next occupied node, so the
+    entries are positive and sum to ``ring_size``.
+    """
+    if ring_size <= 0:
+        raise ConfigurationError(f"ring size must be positive, got {ring_size}")
+    if not positions:
+        raise ConfigurationError("cannot derive distances from zero positions")
+    ordered = sorted(position % ring_size for position in positions)
+    if len(set(ordered)) != len(ordered):
+        raise ConfigurationError(f"positions are not distinct: {sorted(positions)}")
+    gaps = []
+    for index, node in enumerate(ordered):
+        nxt = ordered[(index + 1) % len(ordered)]
+        gaps.append((nxt - node) % ring_size or ring_size)
+    return tuple(gaps)
+
+
+def positions_from_distances(
+    distances: Sequence[int], start: int = 0, ring_size: Optional[int] = None
+) -> List[int]:
+    """Return node positions realising ``distances`` starting at ``start``.
+
+    The inverse of :func:`distances_from_positions`.  When ``ring_size``
+    is given the distances must sum to it; otherwise the sum defines the
+    ring size implicitly.
+    """
+    total = sum(distances)
+    if ring_size is None:
+        ring_size = total
+    if total != ring_size:
+        raise ConfigurationError(
+            f"distance sequence sums to {total}, expected ring size {ring_size}"
+        )
+    if any(distance <= 0 for distance in distances):
+        raise ConfigurationError(f"distances must be positive: {tuple(distances)}")
+    positions = []
+    node = start % ring_size
+    for distance in distances:
+        positions.append(node)
+        node = (node + distance) % ring_size
+    return positions
+
+
+def configuration_distance_sequence(
+    positions: Sequence[int], ring_size: int
+) -> Tuple[int, ...]:
+    """Return ``D(C0)``: the lexicographically minimal agent distance sequence.
+
+    Section 2.1 defines the distance sequence *of a configuration* as the
+    minimum over all agents' distance sequences, i.e. the minimal rotation
+    of any one agent's sequence.
+    """
+    return minimal_rotation(distances_from_positions(positions, ring_size))
+
+
+def prefix_alignment_shift(
+    own: Sequence[int],
+    other_block: Sequence[int],
+    distance_gap: int,
+) -> Optional[int]:
+    """Return the shift ``t`` aligning ``own`` inside the periodic ``other_block``.
+
+    Used by the resume rule of Algorithm 6 (see ``repro.core.unknown``):
+    the suspended agent checks that its own observed sequence appears in
+    the sender's sequence shifted by ``t`` token nodes, where the prefix
+    sum of the sender's first ``t`` distances equals the home-to-home
+    distance ``distance_gap`` (taken modulo the sender's estimated ring
+    size, the periodic extension of the literal paper condition).
+
+    Returns the token shift ``t`` in ``[0, len(other_block))`` or ``None``
+    when no alignment exists.
+    """
+    block = tuple(other_block)
+    if not block:
+        return None
+    period_sum = sum(block)
+    if period_sum <= 0:
+        return None
+    target = distance_gap % period_sum
+    running = 0
+    for candidate in range(len(block)):
+        if running == target:
+            if _matches_periodic(tuple(own), block, candidate):
+                return candidate
+        running += block[candidate]
+    return None
+
+
+def _matches_periodic(own: Tuple[int, ...], block: Tuple[int, ...], start: int) -> bool:
+    """Check ``own[j] == block[(start + j) mod len(block)]`` for all ``j``."""
+    length = len(block)
+    for offset, value in enumerate(own):
+        if value != block[(start + offset) % length]:
+            return False
+    return True

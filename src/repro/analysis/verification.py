@@ -1,0 +1,139 @@
+"""Uniform-deployment verification (paper Definitions 1 and 2).
+
+The problem requires, at quiescence:
+
+* all agents staying at distinct nodes,
+* every link queue empty,
+* no undelivered messages (Definition 2),
+* every gap between adjacent agents equal to ``floor(n/k)`` or
+  ``ceil(n/k)`` — and, implied, exactly ``n mod k`` gaps of the larger
+  size so the gaps sum to ``n``.
+
+:func:`verify_uniform_deployment` checks all of it against an engine (or
+raw positions) and returns a :class:`VerificationReport`; ``strict=True``
+callers can use :func:`require_uniform_deployment` to raise instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.sequences import distances_from_positions
+from repro.errors import VerificationError
+
+__all__ = [
+    "VerificationReport",
+    "allowed_gaps",
+    "verify_positions",
+    "verify_uniform_deployment",
+    "require_uniform_deployment",
+]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a uniform-deployment check."""
+
+    ok: bool
+    ring_size: int
+    agent_count: int
+    gaps: Tuple[int, ...]
+    failures: Tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        status = "UNIFORM" if self.ok else "NOT UNIFORM"
+        detail = "; ".join(self.failures) if self.failures else "all checks passed"
+        return (
+            f"{status}: n={self.ring_size} k={self.agent_count} "
+            f"gaps={self.gaps} ({detail})"
+        )
+
+
+def allowed_gaps(ring_size: int, agent_count: int) -> Tuple[int, int]:
+    """Return ``(floor(n/k), ceil(n/k))``, the two legal adjacent gaps."""
+    low = ring_size // agent_count
+    high = low if ring_size % agent_count == 0 else low + 1
+    return low, high
+
+
+def verify_positions(
+    positions: Sequence[int], ring_size: int
+) -> VerificationReport:
+    """Check the spacing condition for explicit agent positions."""
+    failures: List[str] = []
+    agent_count = len(positions)
+    if agent_count == 0:
+        return VerificationReport(False, ring_size, 0, (), ("no agents",))
+    if len(set(p % ring_size for p in positions)) != agent_count:
+        failures.append("two agents share a node")
+        return VerificationReport(
+            False, ring_size, agent_count, (), tuple(failures)
+        )
+    gaps = distances_from_positions(positions, ring_size)
+    low, high = allowed_gaps(ring_size, agent_count)
+    bad = sorted(set(gap for gap in gaps if gap not in (low, high)))
+    if bad:
+        failures.append(f"gaps {bad} outside {{{low}, {high}}}")
+    expected_high = ring_size % agent_count
+    if expected_high and gaps.count(high) != expected_high:
+        failures.append(
+            f"{gaps.count(high)} gaps of size {high}, expected {expected_high}"
+        )
+    return VerificationReport(
+        ok=not failures,
+        ring_size=ring_size,
+        agent_count=agent_count,
+        gaps=gaps,
+        failures=tuple(failures),
+    )
+
+
+def verify_uniform_deployment(
+    engine: "repro.sim.engine.Engine",  # noqa: F821 - forward ref, avoids cycle
+    require_halted: bool = False,
+    require_suspended: bool = False,
+) -> VerificationReport:
+    """Check Definitions 1/2 against a finished engine run.
+
+    ``require_halted`` asserts every agent is in the halt state
+    (Definition 1); ``require_suspended`` asserts every agent is in a
+    suspended state with an empty inbox (Definition 2).
+    """
+    failures: List[str] = []
+    ring = engine.ring
+    if not ring.all_queues_empty():
+        failures.append("agents still in transit on links")
+    snapshot = engine.snapshot()
+    if snapshot.total_messages_pending() > 0:
+        failures.append("undelivered messages remain")
+    for agent_id in engine.agent_ids:
+        agent = engine.agent(agent_id)
+        if require_halted and not agent.halted:
+            failures.append(f"agent {agent_id} is not halted")
+        if require_suspended and not (agent.suspended or agent.halted):
+            failures.append(f"agent {agent_id} is neither suspended nor halted")
+    if failures:
+        return VerificationReport(
+            False, ring.size, len(engine.agent_ids), (), tuple(failures)
+        )
+    positions = sorted(engine.final_positions().values())
+    report = verify_positions(positions, ring.size)
+    return report
+
+
+def require_uniform_deployment(
+    engine: "repro.sim.engine.Engine",  # noqa: F821
+    require_halted: bool = False,
+    require_suspended: bool = False,
+) -> VerificationReport:
+    """Like :func:`verify_uniform_deployment` but raise on failure."""
+    report = verify_uniform_deployment(
+        engine, require_halted=require_halted, require_suspended=require_suspended
+    )
+    if not report:
+        raise VerificationError(report.describe())
+    return report

@@ -1,0 +1,6 @@
+"""Comparators: the omniscient move-optimal planner and rendezvous."""
+
+from repro.baselines.optimal import OptimalPlan, optimal_uniform_plan, quarter_bound
+from repro.baselines.rendezvous import RendezvousAgent
+
+__all__ = ["OptimalPlan", "optimal_uniform_plan", "quarter_bound", "RendezvousAgent"]

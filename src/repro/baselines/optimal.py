@@ -1,0 +1,85 @@
+"""Omniscient minimal-move baseline (comparator for Theorem 1 / E5).
+
+On a *unidirectional* ring an agent at home ``h`` assigned to target
+``t`` must move exactly ``(t - h) mod n`` hops.  A global planner that
+knows every home picks (a) the rotation of the uniform target pattern
+and (b) the assignment of agents to targets minimising total moves.
+Order-preserving (cyclic-shift) assignments are optimal for forward-only
+costs on a circle, so the planner searches rotations x shifts.
+
+This is not an algorithm in the paper's model (it needs global
+knowledge); it is the yardstick the move benchmarks compare against:
+the paper's algorithms are asymptotically optimal (O(kn) vs the
+quarter-packed configuration's Omega(kn) floor), and this baseline
+gives the exact per-instance floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.verification import verify_positions
+from repro.errors import ConfigurationError
+from repro.ring.placement import Placement
+
+__all__ = ["OptimalPlan", "optimal_uniform_plan", "quarter_bound"]
+
+
+@dataclass(frozen=True)
+class OptimalPlan:
+    """The minimal-total-move plan to a uniform configuration."""
+
+    total_moves: int
+    rotation: int  # rotation of the canonical target pattern
+    targets: Tuple[int, ...]  # targets in home order (targets[i] for homes[i])
+
+    def per_agent_moves(self, homes: Sequence[int], ring_size: int) -> List[int]:
+        """Forward distance each agent travels under the plan."""
+        return [
+            (target - home) % ring_size
+            for home, target in zip(homes, self.targets)
+        ]
+
+
+def _canonical_targets(ring_size: int, agent_count: int) -> List[int]:
+    """The canonical uniform pattern ``floor(i * n / k)``."""
+    return [index * ring_size // agent_count for index in range(agent_count)]
+
+
+def optimal_uniform_plan(placement: Placement) -> OptimalPlan:
+    """Return the global minimum total forward moves to uniformity.
+
+    Searches all ``n`` rotations of the canonical uniform pattern and,
+    for each, all ``k`` cyclic assignment shifts (order-preserving
+    assignments are optimal for forward-only matching on a circle).
+    O(n k^2) time — fine at benchmark scales.
+    """
+    n = placement.ring_size
+    k = placement.agent_count
+    homes = list(placement.homes)
+    base = _canonical_targets(n, k)
+    best: Tuple[int, int, Tuple[int, ...]] = None  # (cost, rotation, targets)
+    for rotation in range(n):
+        targets = sorted((t + rotation) % n for t in base)
+        for shift_amount in range(k):
+            cost = 0
+            assigned = []
+            for index, home in enumerate(homes):
+                target = targets[(index + shift_amount) % k]
+                cost += (target - home) % n
+                assigned.append(target)
+            if best is None or cost < best[0]:
+                best = (cost, rotation, tuple(assigned))
+    cost, rotation, assigned = best
+    report = verify_positions(sorted(assigned), n)
+    if not report.ok:
+        raise ConfigurationError(
+            f"internal error: planned targets are not uniform: {report.describe()}"
+        )
+    return OptimalPlan(total_moves=cost, rotation=rotation, targets=assigned)
+
+
+def quarter_bound(ring_size: int, agent_count: int) -> int:
+    """Theorem 1's explicit floor ``(k/4) * (n/4)`` for quarter-packed configs."""
+    return (agent_count // 4) * (ring_size // 4)

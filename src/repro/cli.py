@@ -1,0 +1,372 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list``          — registered algorithms and their Table 1 rows,
+* ``run``           — one experiment on a random or explicit placement,
+* ``sweep``         — Table 1 style (n, k) grids with log-log slopes,
+* ``symmetry``      — Result 4 adaptivity sweep over symmetry degrees,
+* ``impossibility`` — the Theorem 5 / Figure 7 construction,
+* ``lower-bound``   — Theorem 1 quarter-packed comparison vs optimum,
+* ``compare``       — all algorithms head-to-head on one placement,
+* ``timeline``      — ASCII space-time diagram of one run,
+* ``report``        — re-run the experiment suite, emit markdown.
+
+Every command prints aligned text tables (no plotting dependencies) and
+exits non-zero if a run unexpectedly fails verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.render import render_gaps, render_positions
+from repro.errors import ReproError
+from repro.experiments.impossibility import demonstrate_impossibility
+from repro.experiments.lower_bound import quarter_sweep
+from repro.experiments.runner import ALGORITHMS, run_experiment
+from repro.experiments.table1 import format_rows, symmetry_sweep, table1_sweep
+from repro.ring.placement import placement_from_distances, random_placement
+from repro.sim.scheduler import (
+    BurstScheduler,
+    LaggardScheduler,
+    RandomScheduler,
+    Scheduler,
+    SynchronousScheduler,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_grid(text: str) -> List[Tuple[int, int]]:
+    """Parse ``"64x8,128x16"`` into ``[(64, 8), (128, 16)]``."""
+    pairs = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            n_text, k_text = chunk.lower().split("x")
+            pairs.append((int(n_text), int(k_text)))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad grid entry {chunk!r}; expected NxK like 64x8"
+            ) from None
+    if not pairs:
+        raise argparse.ArgumentTypeError("grid is empty")
+    return pairs
+
+
+def _parse_ints(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad integer list {text!r}; expected e.g. 1,2,4,8"
+        ) from None
+
+
+def _scheduler(name: str, seed: int) -> Scheduler:
+    if name == "sync":
+        return SynchronousScheduler()
+    if name == "random":
+        return RandomScheduler(seed=seed)
+    if name == "laggard":
+        return LaggardScheduler([0], patience=100, seed=seed)
+    if name == "burst":
+        return BurstScheduler(burst=40, seed=seed)
+    raise argparse.ArgumentTypeError(f"unknown scheduler {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser with every subcommand registered."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Uniform deployment of mobile agents in asynchronous rings "
+            "(PODC 2016 / JPDC 2018 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered algorithms")
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("--algorithm", default="known_k_full", choices=sorted(ALGORITHMS))
+    run_parser.add_argument("--n", type=int, default=60, help="ring size")
+    run_parser.add_argument("--k", type=int, default=6, help="agent count")
+    run_parser.add_argument("--seed", type=int, default=0, help="placement seed")
+    run_parser.add_argument(
+        "--distances",
+        type=_parse_ints,
+        default=None,
+        help="explicit distance sequence (overrides --n/--k/--seed)",
+    )
+    run_parser.add_argument(
+        "--scheduler", default="sync", choices=["sync", "random", "laggard", "burst"]
+    )
+    run_parser.add_argument("--scheduler-seed", type=int, default=0)
+    run_parser.add_argument(
+        "--render", action="store_true", help="draw the ring before/after"
+    )
+
+    sweep_parser = commands.add_parser("sweep", help="Table 1 style (n,k) sweep")
+    sweep_parser.add_argument("--algorithm", default="known_k_full", choices=sorted(ALGORITHMS))
+    sweep_parser.add_argument(
+        "--grid", type=_parse_grid, default=[(64, 8), (128, 8), (256, 8)],
+        help="comma-separated NxK pairs, e.g. 64x8,128x8",
+    )
+    sweep_parser.add_argument("--trials", type=int, default=1)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+
+    symmetry_parser = commands.add_parser(
+        "symmetry", help="Result 4 adaptivity sweep over symmetry degrees"
+    )
+    symmetry_parser.add_argument("--n", type=int, default=240)
+    symmetry_parser.add_argument("--k", type=int, default=16)
+    symmetry_parser.add_argument("--degrees", type=_parse_ints, default=[1, 2, 4, 8])
+    symmetry_parser.add_argument("--algorithm", default="unknown", choices=sorted(ALGORITHMS))
+    symmetry_parser.add_argument("--seed", type=int, default=0)
+
+    impossibility_parser = commands.add_parser(
+        "impossibility", help="Theorem 5 / Figure 7 construction"
+    )
+    impossibility_parser.add_argument(
+        "--distances", type=_parse_ints, default=[5, 7, 4, 8],
+        help="base-ring distance sequence (n must be a multiple of k)",
+    )
+    impossibility_parser.add_argument(
+        "--algorithm", default="known_k_full",
+        choices=["known_k_full", "known_k_logspace"],
+    )
+
+    bound_parser = commands.add_parser(
+        "lower-bound", help="Theorem 1 quarter-packed comparison"
+    )
+    bound_parser.add_argument(
+        "--sizes", type=_parse_grid, default=[(64, 8), (128, 16)]
+    )
+
+    compare_parser = commands.add_parser(
+        "compare", help="all algorithms head-to-head on one placement"
+    )
+    compare_parser.add_argument("--n", type=int, default=60)
+    compare_parser.add_argument("--k", type=int, default=6)
+    compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument(
+        "--distances", type=_parse_ints, default=None,
+        help="explicit distance sequence (overrides --n/--k/--seed)",
+    )
+
+    report_parser = commands.add_parser(
+        "report", help="re-run the experiment suite, emit a markdown report"
+    )
+    report_parser.add_argument("--profile", default="quick", choices=["quick", "full"])
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument(
+        "--output", default=None, help="write to a file instead of stdout"
+    )
+
+    timeline_parser = commands.add_parser(
+        "timeline", help="ASCII space-time diagram of one run"
+    )
+    timeline_parser.add_argument(
+        "--algorithm", default="known_k_full", choices=sorted(ALGORITHMS)
+    )
+    timeline_parser.add_argument("--n", type=int, default=16)
+    timeline_parser.add_argument("--k", type=int, default=4)
+    timeline_parser.add_argument("--seed", type=int, default=0)
+    timeline_parser.add_argument(
+        "--distances", type=_parse_ints, default=None,
+        help="explicit distance sequence (overrides --n/--k/--seed)",
+    )
+    timeline_parser.add_argument("--sample-every", type=int, default=1)
+    timeline_parser.add_argument("--limit", type=int, default=60)
+
+    return parser
+
+
+def _command_list() -> int:
+    rows = [
+        {
+            "name": name,
+            "halts": halts,
+            "description": description,
+        }
+        for name, (_, halts, description) in sorted(ALGORITHMS.items())
+    ]
+    print(format_rows(rows))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.distances:
+        placement = placement_from_distances(tuple(args.distances))
+    else:
+        placement = random_placement(args.n, args.k, random.Random(args.seed))
+    scheduler = _scheduler(args.scheduler, args.scheduler_seed)
+    print(f"configuration: {placement.describe()}")
+    if args.render:
+        print("  before:", render_positions(placement.ring_size, placement.homes))
+    result = run_experiment(args.algorithm, placement, scheduler=scheduler)
+    if args.render:
+        print("  after :", render_positions(placement.ring_size, result.final_positions))
+        print(" ", render_gaps(placement.ring_size, result.final_positions))
+    print(format_rows([result.row()]))
+    return 0 if result.ok else 1
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    results = table1_sweep(args.algorithm, args.grid, seed=args.seed, trials=args.trials)
+    print(format_rows([result.row() for result in results]))
+    ns = sorted({result.placement.ring_size for result in results})
+    if len(ns) >= 2:
+        from repro.analysis.chart import scaling_chart
+
+        by_n = {
+            n: [r for r in results if r.placement.ring_size == n][0] for n in ns
+        }
+        print()
+        print(
+            scaling_chart(
+                ns,
+                [by_n[n].total_moves for n in ns],
+                x_name="n",
+                y_name="total moves",
+            )
+        )
+        times = [by_n[n].ideal_time for n in ns]
+        if all(times):
+            print()
+            print(scaling_chart(ns, times, x_name="n", y_name="ideal time"))
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _command_symmetry(args: argparse.Namespace) -> int:
+    results = symmetry_sweep(
+        args.n, args.k, args.degrees, algorithm=args.algorithm, seed=args.seed
+    )
+    print(format_rows([result.row() for result in results]))
+    if len(args.degrees) >= 2:
+        from repro.analysis.complexity import loglog_slope
+
+        slope = loglog_slope(args.degrees, [result.total_moves for result in results])
+        print(f"\nlog-log slope of moves vs l: {slope:.2f} (Theorem 6 predicts ~ -1)")
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _command_impossibility(args: argparse.Namespace) -> int:
+    base = placement_from_distances(tuple(args.distances))
+    outcome = demonstrate_impossibility(base, algorithm=args.algorithm)
+    print(
+        f"base ring R: n={outcome.base.ring_size} k={outcome.base.agent_count} "
+        f"d={outcome.base_gap}; solving execution T={outcome.rounds_in_base} rounds"
+    )
+    print(
+        f"expanded R': n={outcome.expanded.ring_size} "
+        f"k={outcome.expanded.agent_count} (q={outcome.q}), "
+        f"required gap 2d={outcome.expanded_gap}"
+    )
+    print(f"deceived halting positions: {outcome.final_positions}")
+    print(f"gaps inside the repeated window: {outcome.observed_prefix_gaps}")
+    print(f"uniform on R'? {outcome.report.ok}  (the theorem predicts False)")
+    return 0 if outcome.failed_as_predicted else 1
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.comparison import compare_algorithms
+
+    if args.distances:
+        placement = placement_from_distances(tuple(args.distances))
+    else:
+        placement = random_placement(args.n, args.k, random.Random(args.seed))
+    print(f"configuration: {placement.describe()}")
+    comparison = compare_algorithms(placement)
+    print(format_rows(comparison.rows()))
+    print(f"\nomniscient optimum: {comparison.optimal_moves} moves")
+    print(f"fewest moves : {comparison.winner('moves')}")
+    print(f"least memory : {comparison.winner('memory_bits')}")
+    print(f"fastest      : {comparison.winner('ideal_time')}")
+    return 0 if comparison.all_uniform else 1
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(profile_name=args.profile, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _command_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import record_timeline
+    from repro.experiments.runner import build_engine
+
+    if args.distances:
+        placement = placement_from_distances(tuple(args.distances))
+    else:
+        placement = random_placement(args.n, args.k, random.Random(args.seed))
+    print(f"configuration: {placement.describe()}")
+    print("legend: digit/letter = staying agent, + = queued, - = token, . = empty")
+    engine = build_engine(args.algorithm, placement)
+    timeline = record_timeline(engine, sample_every=max(1, args.sample_every))
+    print(timeline.render(limit=args.limit))
+    return 0
+
+
+def _command_lower_bound(args: argparse.Namespace) -> int:
+    rows = []
+    for row in quarter_sweep(args.sizes):
+        entry = {
+            "n": row.ring_size,
+            "k": row.agent_count,
+            "kn/16": row.quarter_floor,
+            "optimal": row.optimal_moves,
+        }
+        for algorithm, moves in sorted(row.algorithm_moves.items()):
+            entry[algorithm] = moves
+        rows.append(entry)
+    print(format_rows(rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (0 ok, 1 fail, 2 error)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "symmetry":
+            return _command_symmetry(args)
+        if args.command == "impossibility":
+            return _command_impossibility(args)
+        if args.command == "lower-bound":
+            return _command_lower_bound(args)
+        if args.command == "timeline":
+            return _command_timeline(args)
+        if args.command == "compare":
+            return _command_compare(args)
+        if args.command == "report":
+            return _command_report(args)
+        parser.error(f"unhandled command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

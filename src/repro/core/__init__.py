@@ -1,0 +1,26 @@
+"""The paper's algorithms: Algorithm 1, Algorithms 2+3, Algorithms 4-6."""
+
+from repro.core.known_k_full import KnownKFullAgent
+from repro.core.known_k_logspace import KnownKLogSpaceAgent
+from repro.core.known_n_full import KnownNFullAgent
+from repro.core.messages import LeaderNotice, PatrolInfo
+from repro.core.targets import (
+    hop_to_next_target,
+    segment_offsets,
+    target_offset,
+    uniform_targets,
+)
+from repro.core.unknown import UnknownKAgent
+
+__all__ = [
+    "KnownKFullAgent",
+    "KnownKLogSpaceAgent",
+    "KnownNFullAgent",
+    "UnknownKAgent",
+    "LeaderNotice",
+    "PatrolInfo",
+    "hop_to_next_target",
+    "segment_offsets",
+    "target_offset",
+    "uniform_targets",
+]

@@ -1,0 +1,69 @@
+"""Algorithm 1 variant: knowledge of n instead of k (paper footnote 2).
+
+Section 3 assumes knowledge of k "or n, since k and n can be easily
+obtained if one of them is given": an agent that knows ``n`` detects
+the completion of its selection circuit by counting ``n`` moves and
+learns ``k`` by counting the tokens it saw.  Everything after the
+circuit (base-node selection by minimal rotation, §3.1.1 target
+arithmetic) is identical to :class:`repro.core.known_k_full.KnownKFullAgent`.
+
+Complexities match Result 1: O(k log n) memory, O(n) time, O(kn) moves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sequences import minimal_period, rotation_rank
+from repro.core.targets import target_offset
+from repro.errors import ConfigurationError
+from repro.sim.actions import Action, NodeView
+from repro.sim.agent import Agent, AgentProtocol
+
+__all__ = ["KnownNFullAgent"]
+
+
+class KnownNFullAgent(Agent):
+    """The footnote-2 agent: ``ring_size`` is the known ``n``."""
+
+    def __init__(self, ring_size: int) -> None:
+        super().__init__()
+        if ring_size < 1:
+            raise ConfigurationError(f"n must be >= 1, got {ring_size}")
+        self.n = ring_size
+        self.k = None  # learned during the circuit (token count)
+        self.D = None
+        self.moved = None  # moves made during the circuit
+        self.dis = None
+        self.rank = None
+        self.dis_base = None
+        self.remaining = None
+        self.declare("n", "k", "moved", "dis", "rank", "dis_base", "remaining")
+        self.declare_sequence("D")
+
+    def protocol(self, first_view: NodeView) -> AgentProtocol:
+        # --- selection phase: one circuit, detected by n moves --------
+        self.moved = 0
+        self.dis = 0
+        self.D = []
+        view = yield Action.move_forward(release_token=True)
+        while True:
+            self.moved += 1
+            self.dis += 1
+            if view.tokens > 0:
+                self.D.append(self.dis)
+                self.dis = 0
+            if self.moved == self.n:
+                break  # back at the home node
+            view = yield Action.move_forward()
+        self.k = len(self.D)
+
+        # --- deployment phase: identical to Algorithm 1 ----------------
+        self.rank = rotation_rank(self.D)
+        base_count = self.k // minimal_period(self.D)
+        self.dis_base = sum(self.D[: self.rank])
+        self.remaining = self.dis_base + target_offset(
+            self.rank, self.n, self.k, base_count
+        )
+        while self.remaining > 0:
+            self.remaining -= 1
+            view = yield Action.move_forward()
+        yield Action.halt_here()

@@ -1,0 +1,48 @@
+"""Message payloads exchanged by the paper's agents.
+
+The model lets co-located agents exchange messages of any size
+(Section 2.1).  Two message types suffice for the whole paper:
+
+* :class:`LeaderNotice` — Algorithm 3: a leader tells a waiting follower
+  that the selection phase finished.  The paper's pseudocode sends
+  ``tBase`` (tokens to the nearest base node); we additionally carry the
+  leader's follower count ``f_num`` so followers can derive the base
+  count ``b = k / (f_num + 1)`` needed for the ``n != ck`` target
+  pattern (§3.1.1) — still O(log n) bits.
+* :class:`PatrolInfo` — Algorithm 5/6: a patrolling agent shares its
+  estimate ``(n', k', nodes, D)`` with a suspended agent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["LeaderNotice", "PatrolInfo"]
+
+
+@dataclass(frozen=True)
+class LeaderNotice:
+    """Leader -> follower notification (Algorithm 3, line 7)."""
+
+    t_base: int  # tokens the follower must observe to reach its base node
+    f_num: int  # followers in the leader's segment; yields b = k/(f_num+1)
+
+
+@dataclass(frozen=True)
+class PatrolInfo:
+    """Patroller -> suspended agent estimate share (Algorithm 5, line 5).
+
+    ``distances`` is the sender's observed distance sequence ``D``
+    (a 4-fold repetition of its estimated fundamental block).
+    """
+
+    n_estimate: int
+    k_estimate: int
+    nodes_moved: int
+    distances: Tuple[int, ...]
+
+    @property
+    def block(self) -> Tuple[int, ...]:
+        """The sender's estimated fundamental block (first quarter of D)."""
+        return self.distances[: self.k_estimate]

@@ -1,0 +1,115 @@
+"""Target-node arithmetic, including the ``n != ck`` case (paper §3.1.1).
+
+With ``b`` base nodes selected (``b`` divides ``k``, and ``b`` divides
+``r = n mod k`` — guaranteed because ``b`` equals the symmetry degree of
+the token layout), the paper places ``k/b`` targets per base segment:
+walking forward from a base node, the first ``r/b`` inter-target gaps
+are ``ceil(n/k)`` and the remaining ones are ``floor(n/k)``.  The
+``j``-th target of a segment therefore sits at offset
+
+    ``offset(j) = j * floor(n/k) + min(j, r/b)``        (0 <= j < k/b)
+
+These helpers are shared by Algorithm 1 (each agent computes its own
+target offset), Algorithm 3 (followers hop from target to target) and
+the deployment phase of Algorithm 6 (with estimated ``n', k'`` and
+``b = 1`` — the estimated block is always aperiodic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "target_offset",
+    "segment_offsets",
+    "hop_to_next_target",
+    "uniform_targets",
+]
+
+
+def _validate(ring_size: int, agent_count: int, base_count: int) -> Tuple[int, int]:
+    """Return ``(floor(n/k), r/b)`` after validating divisibility."""
+    if agent_count <= 0 or ring_size <= 0 or base_count <= 0:
+        raise ConfigurationError(
+            f"n={ring_size}, k={agent_count}, b={base_count} must be positive"
+        )
+    if agent_count % base_count != 0:
+        raise ConfigurationError(
+            f"base count {base_count} does not divide agent count {agent_count}"
+        )
+    remainder = ring_size % agent_count
+    if remainder % base_count != 0:
+        raise ConfigurationError(
+            f"base count {base_count} does not divide n mod k = {remainder}; "
+            "such a base set cannot exist (paper §3.1.1)"
+        )
+    return ring_size // agent_count, remainder // base_count
+
+
+def target_offset(
+    rank: int, ring_size: int, agent_count: int, base_count: int = 1
+) -> int:
+    """Offset of the ``rank``-th target from its base node.
+
+    ``rank`` must lie in ``[0, k/b)``; rank 0 is the base node itself.
+    """
+    floor_gap, large_gaps = _validate(ring_size, agent_count, base_count)
+    per_segment = agent_count // base_count
+    if not 0 <= rank < per_segment:
+        raise ConfigurationError(
+            f"rank {rank} outside [0, {per_segment}) for k/b targets per segment"
+        )
+    return rank * floor_gap + min(rank, large_gaps)
+
+
+def segment_offsets(ring_size: int, agent_count: int, base_count: int = 1) -> List[int]:
+    """All ``k/b`` target offsets of one base segment, ascending."""
+    per_segment = agent_count // base_count
+    return [
+        target_offset(rank, ring_size, agent_count, base_count)
+        for rank in range(per_segment)
+    ]
+
+
+def hop_to_next_target(
+    target_index: int, ring_size: int, agent_count: int, base_count: int = 1
+) -> Tuple[int, int]:
+    """Return ``(hop length, next index)`` from one target to the next.
+
+    ``target_index`` is the position within the current base segment
+    (0 = the base node).  Hopping past the last target of a segment lands
+    on the next segment's base (index 0); the pattern repeats around the
+    whole ring, so followers can keep hopping until they find a vacant
+    target (Algorithm 3).
+    """
+    floor_gap, large_gaps = _validate(ring_size, agent_count, base_count)
+    per_segment = agent_count // base_count
+    if not 0 <= target_index < per_segment:
+        raise ConfigurationError(
+            f"target index {target_index} outside [0, {per_segment})"
+        )
+    current = target_offset(target_index, ring_size, agent_count, base_count)
+    if target_index + 1 < per_segment:
+        nxt = target_offset(target_index + 1, ring_size, agent_count, base_count)
+        return nxt - current, target_index + 1
+    segment_length = ring_size // base_count
+    return segment_length - current, 0
+
+
+def uniform_targets(
+    base_node: int, ring_size: int, agent_count: int, base_count: int = 1
+) -> List[int]:
+    """Absolute target nodes for the whole ring, given one base node.
+
+    Used by tests and the omniscient baseline to enumerate the unique
+    uniform configuration anchored at ``base_node``.
+    """
+    segment_length = ring_size // base_count
+    targets = []
+    for segment in range(base_count):
+        origin = (base_node + segment * segment_length) % ring_size
+        for offset in segment_offsets(ring_size, agent_count, base_count):
+            targets.append((origin + offset) % ring_size)
+    return sorted(targets)

@@ -1,0 +1,27 @@
+"""Ring embeddings for trees and general graphs (paper Section 5)."""
+
+from repro.embedding.deploy import TreeDeployment, deploy_on_graph, deploy_on_tree
+from repro.embedding.general import Graph, bfs_spanning_tree, random_connected_graph
+from repro.embedding.tree import (
+    Tree,
+    VirtualRing,
+    euler_tour,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+
+__all__ = [
+    "TreeDeployment",
+    "deploy_on_graph",
+    "deploy_on_tree",
+    "Graph",
+    "bfs_spanning_tree",
+    "random_connected_graph",
+    "Tree",
+    "VirtualRing",
+    "euler_tour",
+    "path_tree",
+    "random_tree",
+    "star_tree",
+]

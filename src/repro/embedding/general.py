@@ -1,0 +1,87 @@
+"""General graphs: spanning tree, then the Euler-tour ring (paper §5).
+
+For a general connected network the paper suggests building a spanning
+tree and embedding the ring in it.  :func:`bfs_spanning_tree` extracts
+a deterministic BFS tree from an adjacency structure, after which the
+machinery of :mod:`repro.embedding.tree` applies unchanged.  The
+embedded ring has ``2(n-1)`` virtual nodes for an ``n``-node network,
+so move totals stay asymptotically equal (constant factor 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.embedding.tree import Tree
+from repro.errors import ConfigurationError
+
+__all__ = ["Graph", "bfs_spanning_tree", "random_connected_graph"]
+
+
+class Graph:
+    """A simple undirected graph over nodes ``0..n-1``."""
+
+    def __init__(self, size: int, edges: Sequence[Tuple[int, int]]) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"graph size must be positive, got {size}")
+        self.size = size
+        self._adjacency: Dict[int, List[int]] = {node: [] for node in range(size)}
+        seen = set()
+        for u, v in edges:
+            if not (0 <= u < size and 0 <= v < size):
+                raise ConfigurationError(f"edge ({u}, {v}) outside node range")
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                continue  # ignore self-loops and duplicates
+            seen.add(key)
+            self._adjacency[u].append(v)
+            self._adjacency[v].append(u)
+        self.edges = sorted(seen)
+
+    def neighbours(self, node: int) -> List[int]:
+        return list(self._adjacency[node])
+
+
+def bfs_spanning_tree(graph: Graph, root: int = 0) -> Tree:
+    """Deterministic BFS spanning tree rooted at ``root``."""
+    parent: Dict[int, int] = {root: -1}
+    frontier = [root]
+    order: List[int] = [root]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbour in sorted(graph.neighbours(node)):
+                if neighbour not in parent:
+                    parent[neighbour] = node
+                    nxt.append(neighbour)
+                    order.append(neighbour)
+        frontier = nxt
+    if len(parent) != graph.size:
+        raise ConfigurationError(
+            f"graph is not connected ({len(parent)}/{graph.size} reachable)"
+        )
+    edges = [(node, parent[node]) for node in order if parent[node] != -1]
+    return Tree(graph.size, edges)
+
+
+def random_connected_graph(
+    size: int, extra_edges: int, rng: random.Random
+) -> Graph:
+    """A random connected graph: a random tree plus ``extra_edges`` chords."""
+    edges: List[Tuple[int, int]] = [
+        (node, rng.randrange(node)) for node in range(1, size)
+    ]
+    attempts = 0
+    added = 0
+    present = {(min(u, v), max(u, v)) for u, v in edges}
+    while added < extra_edges and attempts < 20 * extra_edges + 100:
+        attempts += 1
+        u = rng.randrange(size)
+        v = rng.randrange(size)
+        key = (min(u, v), max(u, v))
+        if u != v and key not in present:
+            present.add(key)
+            edges.append(key)
+            added += 1
+    return Graph(size, edges)

@@ -1,0 +1,169 @@
+"""Tree networks and Euler-tour ring embedding (paper Section 5).
+
+The conclusion sketches how the ring algorithms extend to trees: an
+agent moving depth-first sees the ``2(n-1)`` directed edge traversals
+of an Euler tour as a *virtual ring* with ``2(n-1)`` nodes.  This
+module builds that substrate:
+
+* :class:`Tree` — an undirected tree over nodes ``0..n-1`` with
+  validation, plus generators for random trees, paths and stars;
+* :func:`euler_tour` — the depth-first tour as a list of tree nodes of
+  length ``2(n-1)`` (position ``i`` is the tree node occupied after the
+  ``i``-th edge traversal, starting at the root);
+* :class:`VirtualRing` — the tour as a ring: placements of agents on
+  distinct tree nodes map to virtual homes (the first tour visit of
+  each node), and final virtual positions map back to tree nodes.
+
+``repro.embedding.deploy_on_tree`` then runs any registered ring
+algorithm unchanged on the virtual ring; every virtual move corresponds
+to one real edge traversal, so the move totals transfer with the
+``2(n-1)/n`` factor the paper notes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ring.placement import Placement
+
+__all__ = ["Tree", "euler_tour", "VirtualRing", "random_tree", "path_tree", "star_tree"]
+
+
+class Tree:
+    """An undirected tree over nodes ``0..n-1``."""
+
+    def __init__(self, size: int, edges: Sequence[Tuple[int, int]]) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"tree size must be positive, got {size}")
+        if len(edges) != size - 1:
+            raise ConfigurationError(
+                f"a tree on {size} nodes needs {size - 1} edges, got {len(edges)}"
+            )
+        self.size = size
+        self._adjacency: Dict[int, List[int]] = {node: [] for node in range(size)}
+        seen = set()
+        for u, v in edges:
+            if not (0 <= u < size and 0 <= v < size):
+                raise ConfigurationError(f"edge ({u}, {v}) outside node range")
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                raise ConfigurationError(f"duplicate or self-loop edge ({u}, {v})")
+            seen.add(key)
+            self._adjacency[u].append(v)
+            self._adjacency[v].append(u)
+        self._assert_connected()
+
+    def neighbours(self, node: int) -> List[int]:
+        """Neighbours in insertion order (deterministic tours)."""
+        return list(self._adjacency[node])
+
+    def _assert_connected(self) -> None:
+        if self.size == 1:
+            return
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for neighbour in self._adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        if len(seen) != self.size:
+            raise ConfigurationError(
+                f"edges do not form a connected tree ({len(seen)}/{self.size} reachable)"
+            )
+
+    def distance(self, source: int, destination: int) -> int:
+        """Tree distance (BFS; used by dispersion diagnostics)."""
+        if source == destination:
+            return 0
+        frontier = [source]
+        seen = {source}
+        hops = 0
+        while frontier:
+            hops += 1
+            nxt = []
+            for node in frontier:
+                for neighbour in self._adjacency[node]:
+                    if neighbour == destination:
+                        return hops
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        nxt.append(neighbour)
+            frontier = nxt
+        raise ConfigurationError("tree is not connected")
+
+
+def euler_tour(tree: Tree, root: int = 0) -> List[int]:
+    """Depth-first Euler tour: node occupied after each edge traversal.
+
+    Length ``2(n-1)``; the tour starts by leaving ``root`` and ends back
+    at ``root`` (the last entry is ``root``).  A single-node tree yields
+    a one-entry tour so a ring of size 1 still exists.
+    """
+    if tree.size == 1:
+        return [root]
+    tour: List[int] = []
+
+    def visit(node: int, parent: int) -> None:
+        for neighbour in tree.neighbours(node):
+            if neighbour == parent:
+                continue
+            tour.append(neighbour)  # traverse node -> neighbour
+            visit(neighbour, node)
+            tour.append(node)  # traverse neighbour -> node
+    visit(root, -1)
+    return tour
+
+
+@dataclass(frozen=True)
+class VirtualRing:
+    """The Euler tour seen as a unidirectional ring."""
+
+    tree: Tree
+    tour: Tuple[int, ...]
+
+    @staticmethod
+    def of(tree: Tree, root: int = 0) -> "VirtualRing":
+        return VirtualRing(tree=tree, tour=tuple(euler_tour(tree, root)))
+
+    @property
+    def size(self) -> int:
+        return len(self.tour)
+
+    def virtual_home(self, tree_node: int) -> int:
+        """First tour position visiting ``tree_node`` (its virtual home)."""
+        try:
+            return self.tour.index(tree_node)
+        except ValueError:
+            raise ConfigurationError(
+                f"tree node {tree_node} never appears in the tour"
+            ) from None
+
+    def tree_node(self, virtual_node: int) -> int:
+        """The tree node a virtual ring position corresponds to."""
+        return self.tour[virtual_node % self.size]
+
+    def placement(self, tree_nodes: Sequence[int]) -> Placement:
+        """Virtual-ring placement of agents sitting on distinct tree nodes."""
+        homes = tuple(self.virtual_home(node) for node in tree_nodes)
+        return Placement(ring_size=self.size, homes=homes)
+
+
+def random_tree(size: int, rng: random.Random) -> Tree:
+    """Uniform random recursive tree: node i attaches to a random earlier node."""
+    edges = [(node, rng.randrange(node)) for node in range(1, size)]
+    return Tree(size, edges)
+
+
+def path_tree(size: int) -> Tree:
+    """The path 0-1-2-...-(n-1) — the worst stretch for embeddings."""
+    return Tree(size, [(node, node + 1) for node in range(size - 1)])
+
+
+def star_tree(size: int) -> Tree:
+    """The star with centre 0 — the best-case diameter."""
+    return Tree(size, [(0, node) for node in range(1, size)])

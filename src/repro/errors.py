@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An initial configuration violates the model of Section 2.1.
+
+    Examples: two agents placed on the same node, more agents than nodes,
+    a distance sequence whose elements do not sum to the ring size.
+    """
+
+
+class ProtocolViolation(ReproError):
+    """An agent produced an action that the atomic-action model forbids.
+
+    Examples: moving and halting in the same action, releasing a second
+    token, broadcasting after entering the halt state.
+    """
+
+
+class SimulationError(ReproError):
+    """The engine reached an inconsistent or unexpected internal state."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The engine hit its safety cap before reaching quiescence.
+
+    The cap exists to turn livelocks and schedule starvation bugs into
+    loud failures instead of hangs; correct executions of the paper's
+    algorithms terminate well under the default budget.
+    """
+
+
+class VerificationError(ReproError):
+    """A terminal configuration failed the uniform-deployment predicate."""

@@ -1,0 +1,131 @@
+"""The paper's exact figure configurations, as a single registry.
+
+Every figure in the paper that depicts a concrete initial
+configuration is reproduced here once, so tests, benchmarks and
+examples all reference the same objects:
+
+* ``figure_1a`` / ``figure_1b`` — the symmetry-degree examples (l=1, l=2),
+* ``figure_2``  — the uniform-deployment illustration (n=16, k=4),
+* ``figure_3``  — the quarter-packed lower-bound configuration,
+* ``figure_4``  — the base/target illustration (2-symmetric, 6 agents),
+* ``figure_5``  — the base-node-conditions example (n=18, k=9, 3 bases),
+* ``figure_8_9`` — the estimating-phase trap ring (n=27, k=9 with the
+  (1,3)^4 subsequence; Figure 8 shows the window, Figure 9 the run),
+* ``figure_11`` — the (6,2)-node periodic ring (n=12),
+* ``theorem_5_base`` — the base ring R used by the E3 construction.
+
+Each entry also records what the paper says should happen, so callers
+can assert against ``expectation`` fields instead of re-deriving them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.ring.placement import (
+    Placement,
+    periodic_placement,
+    placement_from_distances,
+    quarter_packed_placement,
+)
+
+__all__ = ["FigureConfig", "FIGURES", "figure"]
+
+
+@dataclass(frozen=True)
+class FigureConfig:
+    """One paper figure: the placement plus its documented expectations."""
+
+    name: str
+    caption: str
+    placement: Placement
+    symmetry_degree: int
+    expected_gap_low: int
+    expected_gap_high: int
+    note: str = ""
+
+
+def _entry(
+    name: str,
+    caption: str,
+    placement: Placement,
+    note: str = "",
+) -> FigureConfig:
+    n = placement.ring_size
+    k = placement.agent_count
+    return FigureConfig(
+        name=name,
+        caption=caption,
+        placement=placement,
+        symmetry_degree=placement.symmetry_degree,
+        expected_gap_low=n // k,
+        expected_gap_high=n // k if n % k == 0 else n // k + 1,
+        note=note,
+    )
+
+
+FIGURES: Dict[str, FigureConfig] = {
+    entry.name: entry
+    for entry in (
+        _entry(
+            "figure_1a",
+            "Fig. 1(a): aperiodic distance sequence (1,4,2,1,2,2), l = 1",
+            placement_from_distances((1, 4, 2, 1, 2, 2)),
+        ),
+        _entry(
+            "figure_1b",
+            "Fig. 1(b): (1,2,3) repeated twice, l = 2",
+            placement_from_distances((1, 2, 3, 1, 2, 3)),
+        ),
+        _entry(
+            "figure_2",
+            "Fig. 2: uniform deployment target, n = 16, k = 4",
+            placement_from_distances((4, 4, 4, 4)),
+            note="the caption's d = 3 counts nodes strictly between agents",
+        ),
+        _entry(
+            "figure_3",
+            "Fig. 3: all agents packed in one quarter (lower bound)",
+            quarter_packed_placement(32, 8),
+        ),
+        _entry(
+            "figure_4",
+            "Fig. 4: 2-symmetric ring, 6 agents, two base nodes",
+            periodic_placement((1, 4, 7), 2),
+        ),
+        _entry(
+            "figure_5",
+            "Fig. 5: n = 18, k = 9, three base nodes (base-node conditions)",
+            periodic_placement((1, 2, 3), 3),
+            note="3 leaders emerge; 2 homes between adjacent bases",
+        ),
+        _entry(
+            "figure_8_9",
+            "Figs. 8-9: n = 27, k = 9 with the (1,3)^4 estimating trap",
+            placement_from_distances((11, 1, 3, 1, 3, 1, 3, 1, 3)),
+            note="one agent first estimates n' = 4, then is corrected to 27",
+        ),
+        _entry(
+            "figure_11",
+            "Fig. 11: the (6,2)-node periodic ring, n = 12",
+            periodic_placement((1, 2, 3), 2),
+            note="all agents estimate N = 6 and move 12N = 72 before deploying",
+        ),
+        _entry(
+            "theorem_5_base",
+            "Theorem 5 base ring R: n = 24, k = 4, d = 6",
+            placement_from_distances((5, 7, 4, 8)),
+        ),
+    )
+}
+
+
+def figure(name: str) -> FigureConfig:
+    """Look up a figure configuration by name (KeyError lists options)."""
+    try:
+        return FIGURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; available: {sorted(FIGURES)}"
+        ) from None

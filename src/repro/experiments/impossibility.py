@@ -1,0 +1,183 @@
+"""The Theorem 5 impossibility construction (paper §4.1, Figure 7, E3).
+
+No algorithm can solve uniform deployment *with termination detection*
+when agents know neither k nor n.  The proof builds, from any solving
+execution on a ring ``R`` (n nodes, k agents, gap ``d = n/k``), an
+expanded ring ``R'`` with ``2qn + 2n`` nodes and ``kq + k`` agents whose
+occupied prefix repeats ``R``'s layout ``q + 1`` times, where
+``q = ceil(T / n)`` and ``T`` is the length of the solving execution.
+Lemma 1: for ``t <= T`` every node of the shrinking window ``V'_t``
+has the same *local configuration* as its corresponding node in ``R``,
+so the first agents behave identically, halt after ``T`` steps — and
+sit at spacing ``d`` while uniformity in ``R'`` demands ``2d``.
+
+This module makes the construction executable with the paper's own
+knowledge-of-k algorithms playing the role of "the" algorithm: agents
+are given the *believed* ``k`` of ``R`` (exactly the misestimation the
+theorem says is unavoidable), run on ``R'``, and provably fail:
+
+* :func:`expanded_placement` builds ``R'`` from ``R``'s placement;
+* :func:`lemma1_window_agreement` replays both rings round by round in
+  lockstep and measures local-configuration agreement on the window;
+* :func:`demonstrate_impossibility` runs the deceived agents on ``R'``
+  to quiescence and returns the (non-uniform) outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.verification import VerificationReport, verify_positions
+from repro.errors import ConfigurationError
+from repro.experiments.runner import build_agents, build_engine, run_experiment
+from repro.ring.placement import Placement
+from repro.sim.engine import Engine
+from repro.sim.scheduler import SynchronousScheduler
+
+__all__ = [
+    "ImpossibilityOutcome",
+    "expanded_placement",
+    "lemma1_window_agreement",
+    "demonstrate_impossibility",
+]
+
+
+@dataclass(frozen=True)
+class ImpossibilityOutcome:
+    """Everything the Theorem 5 demonstration produced."""
+
+    base: Placement  # R
+    expanded: Placement  # R'
+    rounds_in_base: int  # T(E_R): solving-execution length on R
+    q: int  # repetition parameter, q*n >= T
+    base_gap: int  # d: the uniform gap in R
+    expanded_gap: int  # 2d-ish: the required gap in R'
+    final_positions: Tuple[int, ...]  # where the deceived agents halted in R'
+    observed_prefix_gaps: Tuple[int, ...]  # gaps among halted agents in the window
+    report: VerificationReport  # verification of R' (must fail)
+
+    @property
+    def failed_as_predicted(self) -> bool:
+        """True when the deceived run violates uniformity on R'."""
+        return not self.report.ok
+
+
+def expanded_placement(base: Placement, q: int) -> Placement:
+    """Build R' from R: ``q + 1`` copies of the layout, then empty arc.
+
+    R' has ``2qn + 2n`` nodes; agent ``i`` (0 <= i < k(q+1)) starts at
+    ``f(i mod k) + n * floor(i / k)`` where ``f`` is R's home map, so
+    nodes ``0 .. qn + n - 1`` repeat R and the second half is empty.
+    """
+    if q < 1:
+        raise ConfigurationError(f"q must be >= 1, got {q}")
+    n = base.ring_size
+    k = base.agent_count
+    ring_size = 2 * q * n + 2 * n
+    homes: List[int] = []
+    for block in range(q + 1):
+        homes.extend(home + block * n for home in base.homes)
+    return Placement(ring_size=ring_size, homes=tuple(homes))
+
+
+def _solving_rounds(base: Placement, algorithm: str) -> int:
+    """Length (synchronous rounds) of the solving execution on R."""
+    result = run_experiment(algorithm, base)
+    if not result.ok:
+        raise ConfigurationError(
+            f"{algorithm} failed on the base ring; cannot build the construction"
+        )
+    return result.ideal_time or 0
+
+
+def lemma1_window_agreement(
+    base: Placement, algorithm: str = "known_k_full", rounds: int = 32
+) -> List[float]:
+    """Replay R and R' in lockstep; return per-round window agreement.
+
+    Round ``t`` compares the local configuration of every node
+    ``v'_j`` in the window ``V'_t = {v'_t, ..., v'_{qn+n-1}}`` with node
+    ``v_{j mod n}`` of R (Lemma 1).  Returns the fraction of agreeing
+    nodes per round — 1.0 throughout while ``t <= T``.
+    """
+    k = base.agent_count
+    n = base.ring_size
+    rounds_needed = _solving_rounds(base, algorithm)
+    q = max(1, -(-rounds_needed // n))
+    expanded = expanded_placement(base, q)
+
+    engine_base = build_engine(algorithm, base)
+    # The deception: agents of R' believe R's k (and, for the
+    # knowledge-of-n variant, R's n).
+    deceived = tuple(
+        agent
+        for _ in range(expanded.agent_count // k)
+        for agent in build_agents(algorithm, k, n)
+    )
+    engine_expanded = Engine(
+        placement=expanded,
+        agents=deceived,
+        scheduler=SynchronousScheduler(),
+        memory_audit_interval=1_000_000,
+    )
+
+    window_end = q * n + n  # exclusive
+    agreements: List[float] = []
+    for round_index in range(rounds):
+        snap_base = engine_base.snapshot()
+        snap_expanded = engine_expanded.snapshot()
+        window = range(round_index, window_end)
+        agree = sum(
+            1
+            for node in window
+            if snap_expanded.local(node) == snap_base.local(node % n)
+        )
+        agreements.append(agree / max(1, len(window)))
+        engine_base.run_rounds(1)
+        engine_expanded.run_rounds(1)
+    return agreements
+
+
+def demonstrate_impossibility(
+    base: Placement, algorithm: str = "known_k_full"
+) -> ImpossibilityOutcome:
+    """Run the deceived agents on R' to quiescence; they halt non-uniformly."""
+    n = base.ring_size
+    k = base.agent_count
+    if n % k != 0:
+        raise ConfigurationError(
+            "the Theorem 5 construction uses d = n/k integral; pick n = c*k"
+        )
+    rounds_needed = _solving_rounds(base, algorithm)
+    q = max(1, -(-rounds_needed // n))
+    expanded = expanded_placement(base, q)
+    deceived = tuple(
+        agent
+        for _ in range(expanded.agent_count // k)
+        for agent in build_agents(algorithm, k, n)
+    )
+    engine = Engine(
+        placement=expanded,
+        agents=deceived,
+        scheduler=SynchronousScheduler(),
+    )
+    engine.run()
+    positions = tuple(sorted(engine.final_positions().values()))
+    report = verify_positions(positions, expanded.ring_size)
+    # Gaps among agents that halted inside the repeated window [qn, qn+n):
+    window = [p for p in positions if q * n <= p < q * n + n]
+    prefix_gaps = tuple(
+        window[i + 1] - window[i] for i in range(len(window) - 1)
+    )
+    return ImpossibilityOutcome(
+        base=base,
+        expanded=expanded,
+        rounds_in_base=rounds_needed,
+        q=q,
+        base_gap=n // k,
+        expanded_gap=expanded.ring_size // expanded.agent_count,
+        final_positions=positions,
+        observed_prefix_gaps=prefix_gaps,
+        report=report,
+    )

@@ -1,0 +1,76 @@
+"""Theorem 1/2 lower bounds and the optimality comparison (E5, E6).
+
+Theorem 1: from the quarter-packed configuration (Figure 3) any
+algorithm needs Omega(kn) total moves — explicitly at least
+``(k/4) * (n/4)``.  Theorem 2: time is Omega(n) likewise.  The drivers
+here measure, per configuration:
+
+* the exact omniscient minimum (``repro.baselines.optimal``),
+* the explicit ``kn/16`` floor,
+* each algorithm's measured total moves and ideal time,
+
+so benchmarks can report the constant-factor gap (the paper's
+"asymptotically optimal in total moves" claim, E5/E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.baselines.optimal import optimal_uniform_plan, quarter_bound
+from repro.experiments.runner import run_experiment
+from repro.ring.placement import Placement, quarter_packed_placement
+
+__all__ = ["LowerBoundRow", "lower_bound_comparison", "quarter_sweep"]
+
+
+@dataclass(frozen=True)
+class LowerBoundRow:
+    """One configuration's bound-vs-measured numbers."""
+
+    ring_size: int
+    agent_count: int
+    quarter_floor: int  # (k/4)*(n/4), Theorem 1's explicit bound
+    optimal_moves: int  # exact omniscient minimum for this instance
+    algorithm_moves: Dict[str, int]
+    algorithm_time: Dict[str, Optional[int]]
+
+    def ratio(self, algorithm: str) -> float:
+        """Measured moves over the exact optimum (>= 1, O(1) expected)."""
+        if self.optimal_moves == 0:
+            return 1.0
+        return self.algorithm_moves[algorithm] / self.optimal_moves
+
+
+def lower_bound_comparison(
+    placement: Placement,
+    algorithms: Sequence[str] = ("known_k_full", "known_k_logspace", "unknown"),
+) -> LowerBoundRow:
+    """Measure every algorithm against the bounds on one placement."""
+    plan = optimal_uniform_plan(placement)
+    moves: Dict[str, int] = {}
+    times: Dict[str, Optional[int]] = {}
+    for algorithm in algorithms:
+        result = run_experiment(algorithm, placement)
+        moves[algorithm] = result.total_moves
+        times[algorithm] = result.ideal_time
+    return LowerBoundRow(
+        ring_size=placement.ring_size,
+        agent_count=placement.agent_count,
+        quarter_floor=quarter_bound(placement.ring_size, placement.agent_count),
+        optimal_moves=plan.total_moves,
+        algorithm_moves=moves,
+        algorithm_time=times,
+    )
+
+
+def quarter_sweep(
+    sizes: Sequence[Tuple[int, int]],
+    algorithms: Sequence[str] = ("known_k_full", "known_k_logspace", "unknown"),
+) -> Tuple[LowerBoundRow, ...]:
+    """Run the comparison over quarter-packed configs of the given (n, k)."""
+    return tuple(
+        lower_bound_comparison(quarter_packed_placement(n, k), algorithms)
+        for n, k in sizes
+    )

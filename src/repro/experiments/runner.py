@@ -1,0 +1,161 @@
+"""One-call experiment runner shared by tests, examples and benchmarks.
+
+:func:`run_experiment` builds the engine for a placement and an
+algorithm, runs it to quiescence, verifies uniform deployment with the
+right terminal-state requirement, and returns a :class:`RunResult`
+bundling the metrics and the verification report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.verification import VerificationReport, verify_uniform_deployment
+from repro.core.known_k_full import KnownKFullAgent
+from repro.core.known_k_logspace import KnownKLogSpaceAgent
+from repro.core.known_n_full import KnownNFullAgent
+from repro.core.unknown import UnknownKAgent
+from repro.errors import ConfigurationError
+from repro.ring.placement import Placement
+from repro.sim.agent import Agent
+from repro.sim.engine import Engine
+from repro.sim.scheduler import Scheduler, SynchronousScheduler
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["ALGORITHMS", "RunResult", "build_agents", "build_engine", "run_experiment"]
+
+#: Registry: algorithm name -> (agent factory given (k, n), halts?, description).
+ALGORITHMS: Dict[str, Tuple[Callable[[int, int], Agent], bool, str]] = {
+    "known_k_full": (
+        lambda k, n: KnownKFullAgent(k),
+        True,
+        "Algorithm 1: knowledge of k, O(k log n) memory, O(n) time",
+    ),
+    "known_n_full": (
+        lambda k, n: KnownNFullAgent(n),
+        True,
+        "Algorithm 1 variant (footnote 2): knowledge of n instead of k",
+    ),
+    "known_k_logspace": (
+        lambda k, n: KnownKLogSpaceAgent(k),
+        True,
+        "Algorithms 2+3: knowledge of k, O(log n) memory, O(n log k) time",
+    ),
+    "unknown": (
+        lambda k, n: UnknownKAgent(),
+        False,
+        "Algorithms 4-6: no knowledge, relaxed problem, adaptive in l",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one experiment run produced."""
+
+    algorithm: str
+    placement: Placement
+    scheduler: str
+    total_moves: int
+    max_moves: int
+    ideal_time: Optional[int]
+    max_memory_bits: int
+    messages_sent: int
+    report: VerificationReport
+    final_positions: Tuple[int, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when the run achieved uniform deployment."""
+        return self.report.ok
+
+    def row(self) -> Dict[str, object]:
+        """Flat row for benchmark tables and EXPERIMENTS.md."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.placement.ring_size,
+            "k": self.placement.agent_count,
+            "l": self.placement.symmetry_degree,
+            "scheduler": self.scheduler,
+            "total_moves": self.total_moves,
+            "max_moves": self.max_moves,
+            "ideal_time": self.ideal_time,
+            "max_memory_bits": self.max_memory_bits,
+            "messages": self.messages_sent,
+            "uniform": self.report.ok,
+        }
+
+
+def build_agents(
+    algorithm: str, agent_count: int, ring_size: int = 0
+) -> Tuple[Agent, ...]:
+    """Instantiate one agent per home for a registered algorithm.
+
+    ``ring_size`` is required only by knowledge-of-n algorithms; the
+    knowledge-of-k and no-knowledge factories ignore it.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    factory, _, _ = ALGORITHMS[algorithm]
+    return tuple(factory(agent_count, ring_size) for _ in range(agent_count))
+
+
+def build_engine(
+    algorithm: str,
+    placement: Placement,
+    scheduler: Optional[Scheduler] = None,
+    trace: Optional[TraceRecorder] = None,
+    memory_audit_interval: int = 16,
+    max_steps: Optional[int] = None,
+) -> Engine:
+    """Build an engine wired with fresh agents for ``algorithm``."""
+    agents = build_agents(algorithm, placement.agent_count, placement.ring_size)
+    return Engine(
+        placement=placement,
+        agents=agents,
+        scheduler=scheduler or SynchronousScheduler(),
+        trace=trace,
+        memory_audit_interval=memory_audit_interval,
+        max_steps=max_steps,
+    )
+
+
+def run_experiment(
+    algorithm: str,
+    placement: Placement,
+    scheduler: Optional[Scheduler] = None,
+    trace: Optional[TraceRecorder] = None,
+    memory_audit_interval: int = 16,
+    max_steps: Optional[int] = None,
+) -> RunResult:
+    """Run ``algorithm`` on ``placement`` to quiescence and verify it."""
+    scheduler = scheduler or SynchronousScheduler()
+    engine = build_engine(
+        algorithm,
+        placement,
+        scheduler=scheduler,
+        trace=trace,
+        memory_audit_interval=memory_audit_interval,
+        max_steps=max_steps,
+    )
+    metrics = engine.run()
+    _, halts, _ = ALGORITHMS[algorithm]
+    report = verify_uniform_deployment(
+        engine, require_halted=halts, require_suspended=not halts
+    )
+    positions = tuple(sorted(engine.final_positions().values()))
+    return RunResult(
+        algorithm=algorithm,
+        placement=placement,
+        scheduler=scheduler.describe(),
+        total_moves=metrics.total_moves,
+        max_moves=metrics.max_moves,
+        ideal_time=metrics.rounds,
+        max_memory_bits=metrics.max_memory_bits,
+        messages_sent=metrics.messages_sent,
+        report=report,
+        final_positions=positions,
+    )

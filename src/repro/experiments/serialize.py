@@ -1,0 +1,115 @@
+"""JSON serialisation of experiment results.
+
+Sweeps take minutes at large sizes; users want to keep the numbers.
+:func:`results_to_json` / :func:`results_from_json` round-trip
+:class:`RunResult` lists (placement, scheduler, metrics, verification)
+through plain JSON so results can be archived, diffed and re-plotted
+without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.analysis.verification import VerificationReport
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunResult
+from repro.ring.placement import Placement
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "results_to_json",
+    "results_from_json",
+    "save_results",
+    "load_results",
+]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Flatten one RunResult into JSON-safe primitives."""
+    return {
+        "algorithm": result.algorithm,
+        "ring_size": result.placement.ring_size,
+        "homes": list(result.placement.homes),
+        "scheduler": result.scheduler,
+        "total_moves": result.total_moves,
+        "max_moves": result.max_moves,
+        "ideal_time": result.ideal_time,
+        "max_memory_bits": result.max_memory_bits,
+        "messages_sent": result.messages_sent,
+        "final_positions": list(result.final_positions),
+        "report": {
+            "ok": result.report.ok,
+            "ring_size": result.report.ring_size,
+            "agent_count": result.report.agent_count,
+            "gaps": list(result.report.gaps),
+            "failures": list(result.report.failures),
+        },
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a RunResult from :func:`result_to_dict` output."""
+    try:
+        report_data = data["report"]
+        report = VerificationReport(
+            ok=report_data["ok"],
+            ring_size=report_data["ring_size"],
+            agent_count=report_data["agent_count"],
+            gaps=tuple(report_data["gaps"]),
+            failures=tuple(report_data["failures"]),
+        )
+        return RunResult(
+            algorithm=data["algorithm"],
+            placement=Placement(
+                ring_size=data["ring_size"], homes=tuple(data["homes"])
+            ),
+            scheduler=data["scheduler"],
+            total_moves=data["total_moves"],
+            max_moves=data["max_moves"],
+            ideal_time=data["ideal_time"],
+            max_memory_bits=data["max_memory_bits"],
+            messages_sent=data["messages_sent"],
+            report=report,
+            final_positions=tuple(data["final_positions"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"malformed result record: missing key {missing}"
+        ) from None
+
+
+def results_to_json(results: Sequence[RunResult]) -> str:
+    """Serialise results (with a format version) to a JSON string."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "results": [result_to_dict(result) for result in results],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def results_from_json(text: str) -> List[RunResult]:
+    """Parse a string produced by :func:`results_to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported results format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return [result_from_dict(record) for record in payload["results"]]
+
+
+def save_results(results: Sequence[RunResult], path: Union[str, Path]) -> None:
+    """Write results to a JSON file."""
+    Path(path).write_text(results_to_json(results), encoding="utf-8")
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    """Read results from a JSON file."""
+    return results_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,132 @@
+"""Multi-trial experiment statistics (seeded aggregation).
+
+Single runs are deterministic given a placement and a scheduler seed,
+but Table 1 claims hold over *distributions* of initial configurations.
+:func:`aggregate_trials` runs one algorithm over many seeded random
+placements (optionally many scheduler seeds each) and reports
+mean / min / max / stdev per metric, so benchmark tables can show
+variation rather than single draws.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunResult, run_experiment
+from repro.ring.placement import random_placement
+from repro.sim.scheduler import RandomScheduler, Scheduler, SynchronousScheduler
+
+__all__ = ["MetricSummary", "TrialAggregate", "aggregate_trials"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread of one metric across trials."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "MetricSummary":
+        if not values:
+            raise ConfigurationError("cannot summarise zero values")
+        mean = sum(values) / len(values)
+        if len(values) == 1:
+            spread = 0.0
+        else:
+            spread = math.sqrt(
+                sum((value - mean) ** 2 for value in values) / (len(values) - 1)
+            )
+        return MetricSummary(
+            mean=mean, minimum=min(values), maximum=max(values), stdev=spread
+        )
+
+    def describe(self, digits: int = 1) -> str:
+        return (
+            f"{self.mean:.{digits}f} "
+            f"[{self.minimum:.{digits}f}..{self.maximum:.{digits}f}] "
+            f"(sd {self.stdev:.{digits}f})"
+        )
+
+
+@dataclass(frozen=True)
+class TrialAggregate:
+    """All trials of one (algorithm, n, k) cell."""
+
+    algorithm: str
+    ring_size: int
+    agent_count: int
+    trials: int
+    all_uniform: bool
+    total_moves: MetricSummary
+    ideal_time: Optional[MetricSummary]
+    max_memory_bits: MetricSummary
+    results: Sequence[RunResult]
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.ring_size,
+            "k": self.agent_count,
+            "trials": self.trials,
+            "moves": self.total_moves.describe(0),
+            "time": self.ideal_time.describe(0) if self.ideal_time else "-",
+            "memory_bits": self.max_memory_bits.describe(0),
+            "uniform": self.all_uniform,
+        }
+
+
+def aggregate_trials(
+    algorithm: str,
+    ring_size: int,
+    agent_count: int,
+    trials: int = 5,
+    seed: int = 0,
+    scheduler_factory: Optional[Callable[[int], Scheduler]] = None,
+    memory_audit_interval: int = 16,
+) -> TrialAggregate:
+    """Run ``trials`` seeded random placements and summarise the metrics.
+
+    ``scheduler_factory`` maps a trial index to a scheduler; the default
+    keeps the synchronous scheduler (so ideal time is measured).  Pass
+    ``lambda i: RandomScheduler(i)`` to sample asynchronous executions.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    rng = random.Random(seed)
+    results: List[RunResult] = []
+    for index in range(trials):
+        placement = random_placement(ring_size, agent_count, rng)
+        scheduler = (
+            scheduler_factory(index) if scheduler_factory else SynchronousScheduler()
+        )
+        results.append(
+            run_experiment(
+                algorithm,
+                placement,
+                scheduler=scheduler,
+                memory_audit_interval=memory_audit_interval,
+            )
+        )
+    times = [result.ideal_time for result in results]
+    return TrialAggregate(
+        algorithm=algorithm,
+        ring_size=ring_size,
+        agent_count=agent_count,
+        trials=trials,
+        all_uniform=all(result.ok for result in results),
+        total_moves=MetricSummary.of([result.total_moves for result in results]),
+        ideal_time=(
+            MetricSummary.of([t for t in times]) if all(t is not None for t in times) else None
+        ),
+        max_memory_bits=MetricSummary.of(
+            [result.max_memory_bits for result in results]
+        ),
+        results=tuple(results),
+    )

@@ -1,0 +1,28 @@
+"""Ring substrate: network state, placements, configuration snapshots."""
+
+from repro.ring.configuration import Configuration, LocalConfiguration
+from repro.ring.network import Ring
+from repro.ring.placement import (
+    Placement,
+    arc_packed_placement,
+    equidistant_placement,
+    periodic_placement,
+    placement_from_distances,
+    quarter_packed_placement,
+    random_aperiodic_block,
+    random_placement,
+)
+
+__all__ = [
+    "Configuration",
+    "LocalConfiguration",
+    "Ring",
+    "Placement",
+    "arc_packed_placement",
+    "equidistant_placement",
+    "periodic_placement",
+    "placement_from_distances",
+    "quarter_packed_placement",
+    "random_aperiodic_block",
+    "random_placement",
+]

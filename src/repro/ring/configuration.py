@@ -1,0 +1,76 @@
+"""Global configuration snapshots ``C = (S, T, M, P, Q)`` (paper Table 2).
+
+The engine exposes a :class:`Configuration` snapshot after every atomic
+action (on request) and at quiescence.  Snapshots are immutable value
+objects used by the verifier, the trace recorder and the impossibility
+experiment (which compares *local configurations* of corresponding nodes
+in two rings, Lemma 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+__all__ = ["Configuration", "LocalConfiguration"]
+
+
+@dataclass(frozen=True)
+class LocalConfiguration:
+    """The local configuration of one node (proof of Theorem 5).
+
+    Lemma 1 compares, node by node, ``(state of v, states of all agents at
+    v)``.  Tokens are the node state; agent states are the opaque,
+    algorithm-defined state fingerprints of the agents staying at the node
+    and of the agents queued on the incoming link, in queue order.
+    """
+
+    tokens: int
+    staying_states: Tuple[object, ...]
+    queued_states: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable snapshot of the full 5-tuple ``C = (S, T, M, P, Q)``.
+
+    ``agent_states`` maps agent id to an opaque, algorithm-defined state
+    fingerprint (``S``); ``tokens`` is the node token vector (``T``);
+    ``inbox_sizes`` counts undelivered messages per agent (``M``);
+    ``staying`` maps node to the ids of staying agents in sorted order
+    (``P``); ``queues`` maps node to the incoming link queue, head first
+    (``Q``).
+    """
+
+    ring_size: int
+    agent_states: Mapping[int, object]
+    tokens: Tuple[int, ...]
+    inbox_sizes: Mapping[int, int]
+    staying: Mapping[int, Tuple[int, ...]]
+    queues: Mapping[int, Tuple[int, ...]]
+
+    def local(self, node: int) -> LocalConfiguration:
+        """Return the local configuration of ``node`` (Lemma 1's unit)."""
+        staying_states = tuple(
+            self.agent_states[agent_id] for agent_id in self.staying.get(node, ())
+        )
+        queued_states = tuple(
+            self.agent_states[agent_id] for agent_id in self.queues.get(node, ())
+        )
+        return LocalConfiguration(
+            tokens=self.tokens[node],
+            staying_states=staying_states,
+            queued_states=queued_states,
+        )
+
+    def occupied_nodes(self) -> Tuple[int, ...]:
+        """Nodes with at least one staying agent, in ring order."""
+        return tuple(sorted(node for node, agents in self.staying.items() if agents))
+
+    def all_queues_empty(self) -> bool:
+        """True when no agent is in transit."""
+        return all(not queue for queue in self.queues.values())
+
+    def total_messages_pending(self) -> int:
+        """Total undelivered messages across all agents."""
+        return sum(self.inbox_sizes.values())

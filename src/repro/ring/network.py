@@ -1,0 +1,174 @@
+"""The unidirectional anonymous ring substrate (paper Section 2.1).
+
+A ring ``R = (V, E)`` has ``n`` anonymous nodes ``v_0 .. v_{n-1}`` and
+unidirectional FIFO links ``e_i = (v_i, v_{i+1 mod n})``.  This module
+holds the *passive* state of the model:
+
+* per-node token counters (``T`` in the configuration 5-tuple),
+* per-node sets of *staying* agents (``P``),
+* per-link FIFO queues of in-transit agents (``Q``).
+
+Agent states (``S``) and message queues (``M``) live on the agent objects
+themselves (see ``repro.sim``); :class:`repro.ring.configuration.Configuration`
+assembles the full 5-tuple snapshot when needed.
+
+Node indices exist only for the simulator's bookkeeping — agents never see
+them.  Everything an agent may observe at a node is packaged by the engine
+into a :class:`repro.sim.actions.NodeView`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Set, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["Ring"]
+
+
+class Ring:
+    """Passive state of an ``n``-node unidirectional ring.
+
+    The ring enforces the model's structural invariants:
+
+    * tokens are released once per call and never removed
+      (token monotonicity),
+    * link queues are strictly FIFO — agents enter at the tail and leave
+      at the head only (the no-overtaking property the paper's proofs
+      rely on),
+    * an agent *stays* at exactly one node or sits in exactly one link
+      queue, never both.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"ring size must be positive, got {size}")
+        self._size = size
+        self._tokens: List[int] = [0] * size
+        self._staying: List[Set[int]] = [set() for _ in range(size)]
+        # _queues[i] holds agents in transit toward node i (the paper's
+        # q_i, the queue of link (v_{i-1}, v_i)), head at index 0.
+        self._queues: List[Deque[int]] = [deque() for _ in range(size)]
+        self._agent_location: Dict[int, Tuple[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes ``n``."""
+        return self._size
+
+    def successor(self, node: int) -> int:
+        """Return ``v_{node+1 mod n}``, the only forward neighbour."""
+        return (node + 1) % self._size
+
+    def forward_distance(self, source: int, destination: int) -> int:
+        """Return the forward distance ``(destination - source) mod n``."""
+        return (destination - source) % self._size
+
+    # ------------------------------------------------------------------
+    # Tokens
+    # ------------------------------------------------------------------
+
+    def release_token(self, node: int) -> None:
+        """Increase the token count of ``node`` by one (irrevocable)."""
+        self._tokens[node] += 1
+
+    def tokens_at(self, node: int) -> int:
+        """Return the number of tokens at ``node``."""
+        return self._tokens[node]
+
+    @property
+    def token_counts(self) -> Tuple[int, ...]:
+        """Snapshot of all node token counters (the 5-tuple's ``T``)."""
+        return tuple(self._tokens)
+
+    # ------------------------------------------------------------------
+    # Agent placement
+    # ------------------------------------------------------------------
+
+    def enqueue(self, agent_id: int, node: int) -> None:
+        """Append ``agent_id`` to the tail of the queue entering ``node``.
+
+        Used both for initial placement (the paper stores each agent in
+        the incoming buffer of its home node) and for every move.
+        """
+        self._assert_absent(agent_id)
+        self._queues[node].append(agent_id)
+        self._agent_location[agent_id] = ("queue", node)
+
+    def queue_head(self, node: int) -> int:
+        """Return the agent at the head of the queue entering ``node``."""
+        queue = self._queues[node]
+        if not queue:
+            raise SimulationError(f"queue into node {node} is empty")
+        return queue[0]
+
+    def dequeue(self, agent_id: int, node: int) -> None:
+        """Pop ``agent_id`` from the head of the queue entering ``node``.
+
+        Raises :class:`SimulationError` if the agent is not at the head —
+        that would be an overtake, which the model forbids.
+        """
+        queue = self._queues[node]
+        if not queue or queue[0] != agent_id:
+            raise SimulationError(
+                f"agent {agent_id} is not at the head of the queue into node {node}"
+            )
+        queue.popleft()
+        del self._agent_location[agent_id]
+
+    def settle(self, agent_id: int, node: int) -> None:
+        """Record that ``agent_id`` is now *staying* at ``node`` (in ``p_node``)."""
+        self._assert_absent(agent_id)
+        self._staying[node].add(agent_id)
+        self._agent_location[agent_id] = ("node", node)
+
+    def depart(self, agent_id: int, node: int) -> None:
+        """Remove a staying ``agent_id`` from ``node`` (about to move)."""
+        if agent_id not in self._staying[node]:
+            raise SimulationError(f"agent {agent_id} is not staying at node {node}")
+        self._staying[node].remove(agent_id)
+        del self._agent_location[agent_id]
+
+    def staying_at(self, node: int) -> Set[int]:
+        """Return a copy of the set of agents staying at ``node``."""
+        return set(self._staying[node])
+
+    def queue_contents(self, node: int) -> Tuple[int, ...]:
+        """Return the queue into ``node`` as a tuple, head first."""
+        return tuple(self._queues[node])
+
+    def locate(self, agent_id: int) -> Tuple[str, int]:
+        """Return ``("node", i)`` or ``("queue", i)`` for ``agent_id``."""
+        try:
+            return self._agent_location[agent_id]
+        except KeyError:
+            raise SimulationError(f"agent {agent_id} is not on the ring") from None
+
+    def occupied_nodes(self) -> List[int]:
+        """Return the sorted list of nodes with at least one staying agent."""
+        return [node for node in range(self._size) if self._staying[node]]
+
+    def all_queues_empty(self) -> bool:
+        """Return ``True`` when no agent is in transit (all ``q_i`` empty)."""
+        return all(not queue for queue in self._queues)
+
+    def iter_in_transit(self) -> Iterator[int]:
+        """Yield every agent currently inside a link queue."""
+        for queue in self._queues:
+            yield from queue
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _assert_absent(self, agent_id: int) -> None:
+        if agent_id in self._agent_location:
+            where = self._agent_location[agent_id]
+            raise SimulationError(
+                f"agent {agent_id} is already on the ring at {where}"
+            )

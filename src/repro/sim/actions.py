@@ -1,0 +1,117 @@
+"""Atomic actions and node views (paper Section 2.1).
+
+Each activation of an agent is one *atomic action* consisting of five
+steps: (1) arrive or start at a node, (2) receive all pending messages,
+(3) compute locally, (4) broadcast a message to agents staying at the
+node, (5) move forward or stay.  The engine drives the agent with a
+:class:`NodeView` (everything observable at the node) and receives back
+an :class:`Action` describing steps 3-5.
+
+Actions are validated eagerly: an agent cannot move and halt at once,
+cannot broadcast ``None`` payloads, and cannot do anything after
+halting.  Violations raise :class:`repro.errors.ProtocolViolation` at
+construction time so bugs surface at the faulty agent, not later in the
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.errors import ProtocolViolation
+
+__all__ = ["NodeView", "Action", "Move", "Stay"]
+
+
+class Move(Enum):
+    """What the agent does with its position at the end of the action."""
+
+    FORWARD = "forward"  # leave to the next node (enqueue on the out-link)
+    STAY = "stay"  # remain staying at the current node
+
+
+#: Convenience alias so agent code can write ``Move.STAY`` / ``Stay``.
+Stay = Move.STAY
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """Everything an agent can observe during one atomic action.
+
+    Attributes mirror the model:
+
+    * ``tokens`` — number of tokens at the current node,
+    * ``agents_present`` — number of *other* agents staying at the node
+      (in-transit agents are invisible; the acting agent is excluded),
+    * ``messages`` — all messages delivered in step 2, oldest first
+      (empty tuple when none),
+    * ``arrived`` — ``True`` when this action begins with an arrival from
+      the incoming link, ``False`` when the agent was already staying.
+
+    Node identity is deliberately absent: nodes are anonymous.
+    """
+
+    tokens: int
+    agents_present: int
+    messages: Tuple[object, ...] = ()
+    arrived: bool = False
+
+
+@dataclass(frozen=True)
+class Action:
+    """Steps 3-5 of one atomic action.
+
+    * ``release_token`` — drop the agent's token at the current node,
+    * ``broadcast`` — payload sent to every other agent staying at the
+      current node (``None`` means no message),
+    * ``move`` — :data:`Move.FORWARD` or :data:`Move.STAY`,
+    * ``halt`` — enter the paper's unique halt state (terminal, never
+      reactivated),
+    * ``suspend`` — enter a suspended state (reactivated only by a
+      message arrival; used by the relaxed algorithm and by followers
+      waiting for their leader's notification).
+    """
+
+    release_token: bool = False
+    broadcast: Optional[object] = None
+    move: Move = Move.STAY
+    halt: bool = False
+    suspend: bool = False
+
+    def __post_init__(self) -> None:
+        if self.halt and self.move is Move.FORWARD:
+            raise ProtocolViolation("an agent cannot halt and move in one action")
+        if self.suspend and self.move is Move.FORWARD:
+            raise ProtocolViolation("an agent cannot suspend and move in one action")
+        if self.halt and self.suspend:
+            raise ProtocolViolation("halt and suspend are mutually exclusive")
+
+    # ------------------------------------------------------------------
+    # Constructors used by agent code for readability
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def move_forward(
+        release_token: bool = False, broadcast: Optional[object] = None
+    ) -> "Action":
+        """Leave for the next node, optionally releasing a token or sending."""
+        return Action(
+            release_token=release_token, broadcast=broadcast, move=Move.FORWARD
+        )
+
+    @staticmethod
+    def stay(broadcast: Optional[object] = None) -> "Action":
+        """Remain staying at the node (a plain wait step)."""
+        return Action(broadcast=broadcast, move=Move.STAY)
+
+    @staticmethod
+    def halt_here(broadcast: Optional[object] = None) -> "Action":
+        """Enter the halt state at the current node (termination detection)."""
+        return Action(broadcast=broadcast, move=Move.STAY, halt=True)
+
+    @staticmethod
+    def suspend_here(broadcast: Optional[object] = None) -> "Action":
+        """Enter a suspended state at the current node (relaxed problem)."""
+        return Action(broadcast=broadcast, move=Move.STAY, suspend=True)

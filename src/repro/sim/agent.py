@@ -1,0 +1,199 @@
+"""Agent base class: anonymous state machines with audited memory.
+
+Agents in the model are anonymous state machines.  Writing the paper's
+multi-phase traversal algorithms as explicit transition tables would bury
+their structure, so concrete agents implement :meth:`Agent.protocol` as a
+Python generator: the generator *yields* an :class:`Action` (steps 3-5 of
+an atomic action) and *receives* the next :class:`NodeView` (steps 1-2 of
+the following action).  One ``yield`` therefore corresponds to exactly
+one atomic action, which keeps the code and the paper's pseudocode in
+lockstep.
+
+Two disciplines keep the simulation faithful:
+
+* **All algorithm variables live as instance attributes**, never as
+  generator locals, and are registered via :meth:`Agent.declare` /
+  :meth:`Agent.declare_sequence`.  :meth:`memory_bits` then audits the
+  agent's space usage after every action, giving the Table 1 memory
+  measurements their meaning.
+* **Agents never see node identities.**  The engine hands them node
+  views only; home detection, circuit detection etc. must be done the
+  way the paper does it (token counting, knowledge of k, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Iterable, Optional, Tuple
+
+from repro.errors import ProtocolViolation, SimulationError
+from repro.sim.actions import Action, NodeView
+
+__all__ = ["Agent", "AgentProtocol"]
+
+AgentProtocol = Generator[Action, NodeView, None]
+
+
+def _bits_for_value(value: int) -> int:
+    """Bits to store a bounded non-negative counter with value ``value``.
+
+    ``ceil(log2(value + 2))`` so that 0 still costs one bit and the
+    encoding distinguishes "unset" from "zero".
+    """
+    return max(1, int(value + 1).bit_length())
+
+
+class Agent:
+    """Base class for all protocol agents.
+
+    Subclasses implement :meth:`protocol` and register their paper-level
+    state variables with :meth:`declare` (scalars) and
+    :meth:`declare_sequence` (arrays such as the distance sequence D).
+    The engine owns the lifecycle: it calls :meth:`start` once, then
+    :meth:`act` once per scheduled atomic action.
+    """
+
+    def __init__(self) -> None:
+        self._generator: Optional[AgentProtocol] = None
+        self._halted = False
+        self._suspended = False
+        self._declared_scalars: Dict[str, None] = {}
+        self._declared_sequences: Dict[str, None] = {}
+
+    # ------------------------------------------------------------------
+    # Protocol body — subclasses override
+    # ------------------------------------------------------------------
+
+    def protocol(self, first_view: NodeView) -> AgentProtocol:
+        """Return the generator implementing the agent's algorithm.
+
+        ``first_view`` is the view of the very first atomic action (the
+        agent starting at its home node).  The generator must yield an
+        :class:`Action` per atomic action and may finish (return) only
+        after yielding a halting or suspending action.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # State declarations for memory accounting
+    # ------------------------------------------------------------------
+
+    def declare(self, *names: str) -> None:
+        """Register scalar instance attributes as algorithm state."""
+        for name in names:
+            self._declared_scalars[name] = None
+
+    def declare_sequence(self, *names: str) -> None:
+        """Register sequence-valued instance attributes as algorithm state."""
+        for name in names:
+            self._declared_sequences[name] = None
+
+    def memory_bits(self) -> int:
+        """Return the current size of the declared algorithm state in bits.
+
+        Scalars cost ``ceil(log2(v+2))`` bits (booleans cost 1); sequences
+        cost ``len * bits(max element)``.  ``None`` (unset) costs one bit.
+        """
+        total = 0
+        for name in self._declared_scalars:
+            value = getattr(self, name, None)
+            if value is None:
+                total += 1
+            elif isinstance(value, bool):
+                total += 1
+            elif isinstance(value, int):
+                total += _bits_for_value(abs(value))
+            else:
+                raise SimulationError(
+                    f"declared scalar {name!r} has non-integer value {value!r}"
+                )
+        for name in self._declared_sequences:
+            value = getattr(self, name, None)
+            if value is None:
+                total += 1
+                continue
+            items: Iterable[int] = value
+            width = 1
+            length = 0
+            for item in items:
+                width = max(width, _bits_for_value(abs(int(item))))
+                length += 1
+            total += max(1, length) * width
+        return total
+
+    # ------------------------------------------------------------------
+    # Engine-facing lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def halted(self) -> bool:
+        """True once the agent entered the paper's halt state."""
+        return self._halted
+
+    @property
+    def suspended(self) -> bool:
+        """True while the agent is in a suspended state (message-wakeable)."""
+        return self._suspended
+
+    def start(self, first_view: NodeView) -> Action:
+        """Run the first atomic action (the agent starting at its home)."""
+        if self._generator is not None:
+            raise SimulationError("agent started twice")
+        self._generator = self.protocol(first_view)
+        try:
+            action = next(self._generator)
+        except StopIteration:
+            raise ProtocolViolation(
+                "agent protocol finished without yielding a single action"
+            ) from None
+        return self._register(action)
+
+    def act(self, view: NodeView) -> Action:
+        """Run one atomic action: deliver ``view``, collect the action."""
+        if self._generator is None:
+            raise SimulationError("agent activated before start()")
+        if self._halted:
+            raise SimulationError("halted agent activated")
+        self._suspended = False
+        try:
+            action = self._generator.send(view)
+        except StopIteration:
+            raise ProtocolViolation(
+                "agent protocol finished without halting or suspending; "
+                "generators must end on a halt/suspend action"
+            ) from None
+        return self._register(action)
+
+    def state_fingerprint(self) -> Tuple[object, ...]:
+        """Opaque state used for Lemma 1's local-configuration comparison.
+
+        Returns the values of all declared variables plus the terminal
+        flags.  Two agents with equal fingerprints are in the same
+        algorithm state.
+        """
+        scalars = tuple(
+            (name, getattr(self, name, None)) for name in sorted(self._declared_scalars)
+        )
+        sequences = tuple(
+            (name, tuple(getattr(self, name, None) or ()))
+            for name in sorted(self._declared_sequences)
+        )
+        return (type(self).__name__, self._halted, self._suspended, scalars, sequences)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _register(self, action: Action) -> Action:
+        if not isinstance(action, Action):
+            raise ProtocolViolation(f"agent yielded {action!r}, not an Action")
+        if action.halt:
+            self._halted = True
+            self._close_generator()
+        if action.suspend:
+            self._suspended = True
+        return action
+
+    def _close_generator(self) -> None:
+        if self._generator is not None:
+            self._generator.close()
+            self._generator = None

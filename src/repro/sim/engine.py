@@ -1,0 +1,358 @@
+"""The asynchronous discrete-event engine (paper Section 2.1).
+
+The engine owns a :class:`repro.ring.network.Ring`, the agents, their
+message inboxes and the schedule.  One engine *step* is one atomic
+action of one agent:
+
+1. the agent arrives from the incoming link (if queued at the head) or
+   is activated in place (if staying),
+2. all pending messages are delivered at once,
+3. the agent computes (its protocol generator runs to the next yield),
+4. an optional broadcast is appended to the inboxes of all *other*
+   agents staying at the node,
+5. the agent moves forward (entering the tail of the out-link's FIFO
+   queue) or stays.
+
+Model guarantees enforced here:
+
+* **Initial buffer rule** — agents start inside the incoming buffer of
+  their home node, so each agent acts at its home before any other
+  agent can visit it.
+* **Enabledness** — only agents that can actually act are schedulable:
+  queue heads, staying non-suspended agents, and suspended agents with
+  a non-empty inbox.  Halted agents are never schedulable.
+* **Quiescence** — the run ends when no agent is enabled: for the
+  termination-detection algorithms this means all agents halted; for
+  the relaxed algorithm it is the paper's "all suspended, no messages
+  pending, all links empty" condition (Definition 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    SimulationError,
+    SimulationLimitExceeded,
+)
+from repro.ring.configuration import Configuration
+from repro.ring.network import Ring
+from repro.ring.placement import Placement
+from repro.sim.actions import Action, Move, NodeView
+from repro.sim.agent import Agent
+from repro.sim.metrics import Metrics
+from repro.sim.scheduler import Scheduler, SynchronousScheduler
+from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
+
+__all__ = ["Engine"]
+
+#: Default safety multiplier: the paper's algorithms use O(k n) moves and
+#: comparable numbers of waits; 64x that with slack catches livelocks
+#: without tripping on legitimate executions.
+_DEFAULT_STEP_SLACK = 64
+
+
+class Engine:
+    """Drives one execution of one algorithm on one initial configuration."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        agents: Sequence[Agent],
+        scheduler: Optional[Scheduler] = None,
+        trace: Optional[TraceRecorder] = None,
+        max_steps: Optional[int] = None,
+        memory_audit_interval: int = 16,
+    ) -> None:
+        if len(agents) != placement.agent_count:
+            raise ConfigurationError(
+                f"{len(agents)} agents supplied for a placement of "
+                f"{placement.agent_count} homes"
+            )
+        self._placement = placement
+        self._ring = Ring(placement.ring_size)
+        self._agents: Dict[int, Agent] = dict(enumerate(agents))
+        self._homes: Dict[int, int] = dict(enumerate(placement.homes))
+        self._inboxes: Dict[int, List[object]] = {i: [] for i in self._agents}
+        self._started: Dict[int, bool] = {i: False for i in self._agents}
+        self._scheduler = scheduler or SynchronousScheduler()
+        self._trace = trace
+        self._metrics = Metrics()
+        self._steps = 0
+        self._activation_log: List[int] = []
+        if max_steps is None:
+            budget = _DEFAULT_STEP_SLACK * placement.ring_size * placement.agent_count
+            max_steps = budget + 10_000
+        self._max_steps = max_steps
+        if memory_audit_interval < 1:
+            raise ConfigurationError("memory audit interval must be >= 1")
+        self._audit_interval = memory_audit_interval
+        # The paper's C0: every agent sits in the incoming buffer of its
+        # home node, guaranteeing it acts there first.
+        for agent_id, home in self._homes.items():
+            self._ring.enqueue(agent_id, home)
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    @property
+    def ring(self) -> Ring:
+        """The ring substrate (read-mostly; mutate only via agent actions)."""
+        return self._ring
+
+    @property
+    def metrics(self) -> Metrics:
+        """Metrics accumulated so far."""
+        return self._metrics
+
+    @property
+    def placement(self) -> Placement:
+        """The initial configuration this engine was built from."""
+        return self._placement
+
+    @property
+    def steps(self) -> int:
+        """Atomic actions executed so far."""
+        return self._steps
+
+    @property
+    def activation_log(self) -> Tuple[int, ...]:
+        """The agent-id sequence of every atomic action so far.
+
+        Feed it to :class:`repro.sim.scheduler.ReplayScheduler` to
+        reproduce this execution exactly on a fresh engine.
+        """
+        return tuple(self._activation_log)
+
+    def agent(self, agent_id: int) -> Agent:
+        """Return the agent object with the given id."""
+        return self._agents[agent_id]
+
+    @property
+    def agent_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._agents))
+
+    def enabled_agents(self) -> List[int]:
+        """Agents that can take an atomic action right now, sorted by id."""
+        enabled = []
+        for agent_id, agent in sorted(self._agents.items()):
+            if agent.halted:
+                continue
+            kind, node = self._ring.locate(agent_id)
+            if kind == "queue":
+                if self._ring.queue_head(node) == agent_id:
+                    enabled.append(agent_id)
+            else:
+                if not agent.suspended or self._inboxes[agent_id]:
+                    enabled.append(agent_id)
+        return enabled
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no agent is enabled (Definitions 1 and 2 terminal state)."""
+        return not self.enabled_agents()
+
+    def run(self) -> Metrics:
+        """Run to quiescence; raise on exceeding the step budget."""
+        while True:
+            enabled = self.enabled_agents()
+            if not enabled:
+                return self._metrics
+            self._run_batch(enabled)
+
+    def run_rounds(self, rounds: int) -> Metrics:
+        """Run at most ``rounds`` scheduler batches (may stop earlier)."""
+        for _ in range(rounds):
+            enabled = self.enabled_agents()
+            if not enabled:
+                break
+            self._run_batch(enabled)
+        return self._metrics
+
+    def run_until(self, predicate, max_rounds: int = 1_000_000) -> bool:
+        """Run batches until ``predicate(engine)`` holds or quiescence.
+
+        Returns ``True`` when the predicate fired, ``False`` when the
+        run quiesced (or ``max_rounds`` elapsed) first.  Useful for
+        watching for intermediate conditions ("some agent suspended",
+        "half the agents halted") without writing the loop by hand.
+        """
+        for _ in range(max_rounds):
+            if predicate(self):
+                return True
+            enabled = self.enabled_agents()
+            if not enabled:
+                return predicate(self)
+            self._run_batch(enabled)
+        return predicate(self)
+
+    def iter_rounds(self):
+        """Yield ``self`` after every scheduler batch until quiescence.
+
+        Enables ``for _ in engine.iter_rounds(): ...`` observation loops
+        (the timeline recorder and several examples use this shape).
+        """
+        while True:
+            enabled = self.enabled_agents()
+            if not enabled:
+                return
+            self._run_batch(enabled)
+            yield self
+
+    def snapshot(self) -> Configuration:
+        """Return the current global configuration ``C = (S, T, M, P, Q)``."""
+        return Configuration(
+            ring_size=self._ring.size,
+            agent_states={
+                agent_id: agent.state_fingerprint()
+                for agent_id, agent in self._agents.items()
+            },
+            tokens=self._ring.token_counts,
+            inbox_sizes={
+                agent_id: len(inbox) for agent_id, inbox in self._inboxes.items()
+            },
+            staying={
+                node: tuple(sorted(self._ring.staying_at(node)))
+                for node in range(self._ring.size)
+            },
+            queues={
+                node: self._ring.queue_contents(node)
+                for node in range(self._ring.size)
+            },
+        )
+
+    def final_positions(self) -> Dict[int, int]:
+        """Map agent id -> node for all staying agents (post-quiescence)."""
+        positions = {}
+        for agent_id in self._agents:
+            kind, node = self._ring.locate(agent_id)
+            if kind != "node":
+                raise SimulationError(
+                    f"agent {agent_id} is still in transit toward node {node}"
+                )
+            positions[agent_id] = node
+        return positions
+
+    # ------------------------------------------------------------------
+    # Execution internals
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, enabled: Sequence[int]) -> None:
+        batch = self._scheduler.next_batch(list(enabled))
+        if not batch:
+            raise SimulationError("scheduler returned an empty batch")
+        for agent_id in batch:
+            if self._is_enabled(agent_id):
+                self._activate(agent_id)
+        if self._scheduler.counts_time:
+            self._metrics.record_round()
+
+    def _is_enabled(self, agent_id: int) -> bool:
+        agent = self._agents[agent_id]
+        if agent.halted:
+            return False
+        kind, node = self._ring.locate(agent_id)
+        if kind == "queue":
+            return self._ring.queue_head(node) == agent_id
+        return not agent.suspended or bool(self._inboxes[agent_id])
+
+    def _activate(self, agent_id: int) -> None:
+        self._steps += 1
+        self._activation_log.append(agent_id)
+        if self._steps > self._max_steps:
+            raise SimulationLimitExceeded(
+                f"exceeded {self._max_steps} atomic actions without quiescence "
+                f"(n={self._ring.size}, k={len(self._agents)}, "
+                f"scheduler={self._scheduler.describe()})"
+            )
+        agent = self._agents[agent_id]
+        kind, node = self._ring.locate(agent_id)
+        arrived = kind == "queue"
+        if arrived:
+            self._ring.dequeue(agent_id, node)
+            self._record(TraceEventKind.ARRIVE, agent_id, node)
+        else:
+            self._ring.depart(agent_id, node)
+            self._record(TraceEventKind.ACT_IN_PLACE, agent_id, node)
+
+        messages = tuple(self._inboxes[agent_id])
+        self._inboxes[agent_id] = []
+        if messages:
+            self._metrics.record_delivery(len(messages))
+        recipients = sorted(self._ring.staying_at(node))
+        view = NodeView(
+            tokens=self._ring.tokens_at(node),
+            agents_present=len(recipients),
+            messages=messages,
+            arrived=arrived,
+        )
+
+        if self._started[agent_id]:
+            action = agent.act(view)
+        else:
+            self._started[agent_id] = True
+            action = agent.start(view)
+
+        self._apply(agent_id, agent, node, action, recipients)
+        self._metrics.record_activation(agent_id)
+        if (
+            self._steps % self._audit_interval == 0
+            or action.halt
+            or action.suspend
+        ):
+            self._metrics.record_memory(agent_id, agent.memory_bits())
+
+    def _apply(
+        self,
+        agent_id: int,
+        agent: Agent,
+        node: int,
+        action: Action,
+        recipients: List[int],
+    ) -> None:
+        if action.release_token:
+            self._ring.release_token(node)
+            self._metrics.record_token()
+            self._record(TraceEventKind.TOKEN, agent_id, node)
+        if action.broadcast is not None:
+            for recipient in recipients:
+                was_starved = not self._inboxes[recipient]
+                self._inboxes[recipient].append(action.broadcast)
+                if was_starved and self._agents[recipient].suspended:
+                    self._record(TraceEventKind.WAKE, recipient, node)
+            self._metrics.record_broadcast(len(recipients))
+            self._record(
+                TraceEventKind.BROADCAST, agent_id, node, detail=action.broadcast
+            )
+        if action.move is Move.FORWARD:
+            destination = self._ring.successor(node)
+            self._ring.enqueue(agent_id, destination)
+            self._metrics.record_move(agent_id)
+            self._record(TraceEventKind.MOVE, agent_id, node)
+        else:
+            self._ring.settle(agent_id, node)
+            self._record(TraceEventKind.SETTLE, agent_id, node)
+            if action.halt:
+                self._record(TraceEventKind.HALT, agent_id, node)
+            if action.suspend:
+                self._record(TraceEventKind.SUSPEND, agent_id, node)
+
+    def _record(
+        self,
+        kind: TraceEventKind,
+        agent_id: int,
+        node: int,
+        detail: Optional[object] = None,
+    ) -> None:
+        if self._trace is not None:
+            self._trace.record(
+                TraceEvent(
+                    step=self._steps,
+                    kind=kind,
+                    agent_id=agent_id,
+                    node=node,
+                    detail=detail,
+                )
+            )

@@ -1,0 +1,97 @@
+"""Metrics collection: moves, ideal time, per-agent memory (Table 1).
+
+The three complexity measures of the paper are observed directly:
+
+* **total moves** — every link traversal of every agent,
+* **ideal time** — rounds of the :class:`SynchronousScheduler` (other
+  schedulers leave the time field ``None``, since asynchronous wall
+  clocks are meaningless in the model),
+* **agent memory** — the high-water mark of
+  :meth:`repro.sim.agent.Agent.memory_bits` over the whole execution,
+  audited after every atomic action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["Metrics"]
+
+
+@dataclass
+class Metrics:
+    """Mutable metrics accumulator owned by one engine run."""
+
+    moves_per_agent: Dict[int, int] = field(default_factory=dict)
+    activations_per_agent: Dict[int, int] = field(default_factory=dict)
+    memory_bits_per_agent: Dict[int, int] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    tokens_released: int = 0
+    rounds: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Recording (engine-facing)
+    # ------------------------------------------------------------------
+
+    def record_activation(self, agent_id: int) -> None:
+        self.activations_per_agent[agent_id] = (
+            self.activations_per_agent.get(agent_id, 0) + 1
+        )
+
+    def record_move(self, agent_id: int) -> None:
+        self.moves_per_agent[agent_id] = self.moves_per_agent.get(agent_id, 0) + 1
+
+    def record_memory(self, agent_id: int, bits: int) -> None:
+        current = self.memory_bits_per_agent.get(agent_id, 0)
+        if bits > current:
+            self.memory_bits_per_agent[agent_id] = bits
+
+    def record_broadcast(self, recipients: int) -> None:
+        self.messages_sent += recipients
+
+    def record_delivery(self, count: int) -> None:
+        self.messages_delivered += count
+
+    def record_token(self) -> None:
+        self.tokens_released += 1
+
+    def record_round(self) -> None:
+        self.rounds = (self.rounds or 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reading (analysis-facing)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_moves(self) -> int:
+        """Total link traversals across all agents (the paper's move count)."""
+        return sum(self.moves_per_agent.values())
+
+    @property
+    def max_moves(self) -> int:
+        """The largest per-agent move count."""
+        return max(self.moves_per_agent.values(), default=0)
+
+    @property
+    def max_memory_bits(self) -> int:
+        """High-water memory of the most memory-hungry agent, in bits."""
+        return max(self.memory_bits_per_agent.values(), default=0)
+
+    @property
+    def total_activations(self) -> int:
+        """Total atomic actions executed."""
+        return sum(self.activations_per_agent.values())
+
+    def summary(self) -> Dict[str, Optional[int]]:
+        """Flat dictionary used by benchmark tables and EXPERIMENTS.md."""
+        return {
+            "total_moves": self.total_moves,
+            "max_moves": self.max_moves,
+            "ideal_time": self.rounds,
+            "max_memory_bits": self.max_memory_bits,
+            "messages_sent": self.messages_sent,
+            "tokens_released": self.tokens_released,
+            "activations": self.total_activations,
+        }

@@ -1,0 +1,218 @@
+"""Fair schedulers, including adversarial ones (paper Section 2.1).
+
+The model quantifies over all *fair* schedules: infinite agent sequences
+in which every agent appears infinitely often.  The engine asks a
+scheduler for the next batch of agents to activate, passing the set of
+currently *enabled* agents (agents that actually have an action to take:
+staying with pending work or messages, or at the head of a link queue).
+
+Schedulers provided:
+
+* :class:`SynchronousScheduler` — one round activates every enabled
+  agent once.  The number of rounds equals the paper's *ideal time*
+  (every move/wait costs at most one unit, computation is free).
+* :class:`RandomScheduler` — activates one uniformly random enabled
+  agent per step; seeds make executions reproducible.
+* :class:`LaggardScheduler` — an adversary that starves a chosen set of
+  agents for a fixed budget of steps whenever other agents are enabled,
+  modelling arbitrarily slow agents within fairness.
+* :class:`BurstScheduler` — runs each enabled agent in long exclusive
+  bursts, modelling one very fast agent at a time.
+
+All schedulers are fair by construction given the engine's guarantee
+that enabled agents remain enabled until activated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set
+
+__all__ = [
+    "Scheduler",
+    "SynchronousScheduler",
+    "RandomScheduler",
+    "LaggardScheduler",
+    "BurstScheduler",
+    "ChaosScheduler",
+    "ReplayScheduler",
+]
+
+
+class Scheduler:
+    """Strategy interface: pick the next batch of agents to activate."""
+
+    #: Whether one batch should advance the ideal-time clock by one unit.
+    counts_time = False
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        """Return the agent ids to activate next, in order.
+
+        ``enabled`` is sorted and non-empty.  The returned list must be a
+        non-empty subsequence of ``enabled`` (the engine re-checks
+        enabledness before each activation inside the batch, because an
+        earlier activation in the batch can disable a later agent — e.g.
+        by moving into the link queue slot ahead of it).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable name used in experiment reports."""
+        return type(self).__name__
+
+
+class SynchronousScheduler(Scheduler):
+    """Activate every enabled agent once per round; rounds measure time.
+
+    This realises the ideal-time assumptions of Section 2.2: in one time
+    unit every agent completes at most one move or wait.  The paper's
+    algorithms must work under *any* fair schedule; this scheduler is the
+    one whose round count equals the ideal time complexity.
+    """
+
+    counts_time = True
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        return list(enabled)
+
+
+class RandomScheduler(Scheduler):
+    """Activate one uniformly random enabled agent per step."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._seed = seed
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        return [self._rng.choice(enabled)]
+
+    def describe(self) -> str:
+        return f"RandomScheduler(seed={self._seed})"
+
+
+class LaggardScheduler(Scheduler):
+    """Starve ``laggards`` whenever possible, for ``patience`` steps each time.
+
+    While the starvation budget lasts and at least one non-laggard is
+    enabled, only non-laggards run.  When the budget is exhausted (or no
+    other agent is enabled — fairness), the laggards run once and the
+    budget resets.  This models the adversary used in the paper's
+    asynchrony arguments: an agent may be arbitrarily slow, but not
+    forever.
+    """
+
+    def __init__(
+        self, laggards: Sequence[int], patience: int = 50, seed: int = 0
+    ) -> None:
+        self._laggards: Set[int] = set(laggards)
+        self._patience = patience
+        self._budget = patience
+        self._rng = random.Random(seed)
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        eager = [agent for agent in enabled if agent not in self._laggards]
+        if eager and self._budget > 0:
+            self._budget -= 1
+            return [self._rng.choice(eager)]
+        self._budget = self._patience
+        lagging = [agent for agent in enabled if agent in self._laggards]
+        return [self._rng.choice(lagging or list(enabled))]
+
+    def describe(self) -> str:
+        return (
+            f"LaggardScheduler(laggards={sorted(self._laggards)}, "
+            f"patience={self._patience})"
+        )
+
+
+class ReplayScheduler(Scheduler):
+    """Replay a recorded activation sequence exactly (deterministic debug).
+
+    ``log`` is the agent-id sequence of a previous run (the engine's
+    ``activation_log``).  Replaying it against the same initial
+    configuration reproduces the execution event for event — the
+    foundation for bisecting schedule-dependent bugs.  When the log is
+    exhausted (or names a disabled agent) the scheduler falls back to
+    the lowest-id enabled agent so the run can still finish.
+    """
+
+    def __init__(self, log: Sequence[int]) -> None:
+        self._log = list(log)
+        self._cursor = 0
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        while self._cursor < len(self._log):
+            candidate = self._log[self._cursor]
+            self._cursor += 1
+            if candidate in enabled:
+                return [candidate]
+        return [enabled[0]]
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the recorded log has been fully consumed."""
+        return self._cursor >= len(self._log)
+
+    def describe(self) -> str:
+        return f"ReplayScheduler(len={len(self._log)})"
+
+
+class ChaosScheduler(Scheduler):
+    """Compose adversaries: switch strategy every ``epoch`` steps.
+
+    Rotates between uniform-random choice, starving the lowest-id
+    enabled agent, starving the highest-id enabled agent, and bursting
+    one agent — a stress mix that has no bias any single adversary has.
+    Fair because every strategy in the rotation is fair.
+    """
+
+    def __init__(self, epoch: int = 30, seed: int = 0) -> None:
+        self._epoch = epoch
+        self._step = 0
+        self._rng = random.Random(seed)
+        self._burst_target: Optional[int] = None
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        mode = (self._step // self._epoch) % 4
+        self._step += 1
+        if mode == 0:
+            return [self._rng.choice(enabled)]
+        if mode == 1:  # starve the lowest id when possible
+            return [enabled[-1] if len(enabled) > 1 else enabled[0]]
+        if mode == 2:  # starve the highest id when possible
+            return [enabled[0]]
+        if self._burst_target not in enabled:
+            self._burst_target = self._rng.choice(enabled)
+        return [self._burst_target]
+
+    def describe(self) -> str:
+        return f"ChaosScheduler(epoch={self._epoch})"
+
+
+class BurstScheduler(Scheduler):
+    """Run one agent exclusively for up to ``burst`` steps, then rotate.
+
+    Models executions where one agent is much faster than the others —
+    the schedule family behind the Algorithm 2/3 overtaking analysis.
+    """
+
+    def __init__(self, burst: int = 25, seed: int = 0) -> None:
+        self._burst = burst
+        self._remaining = burst
+        self._current: Optional[int] = None
+        self._rng = random.Random(seed)
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        if (
+            self._current is not None
+            and self._current in enabled
+            and self._remaining > 0
+        ):
+            self._remaining -= 1
+            return [self._current]
+        self._current = self._rng.choice(enabled)
+        self._remaining = self._burst - 1
+        return [self._current]
+
+    def describe(self) -> str:
+        return f"BurstScheduler(burst={self._burst})"

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ring.placement import Placement
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+def brute_force_min_rotation_index(sequence) -> int:
+    """Reference implementation for Booth's algorithm tests."""
+    items = tuple(sequence)
+    if not items:
+        return 0
+    best = 0
+    for candidate in range(1, len(items)):
+        rotated = items[candidate:] + items[:candidate]
+        current = items[best:] + items[:best]
+        if rotated < current:
+            best = candidate
+    return best
+
+
+def brute_force_min_period(sequence) -> int:
+    """Reference implementation for minimal rotation period."""
+    items = tuple(sequence)
+    for period in range(1, len(items) + 1):
+        if len(items) % period == 0 and items[period:] + items[:period] == items:
+            return period
+    return len(items)
+
+
+def small_random_placement(rng: random.Random, max_n: int = 48) -> Placement:
+    """A random placement sized for fast engine tests."""
+    n = rng.randint(6, max_n)
+    k = rng.randint(2, max(2, min(n // 2, 10)))
+    homes = tuple(rng.sample(range(n), k))
+    return Placement(ring_size=n, homes=homes)

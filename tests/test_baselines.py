@@ -1,0 +1,115 @@
+"""Tests for the optimal-move planner and the rendezvous contrast (E5, E18)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.verification import verify_positions
+from repro.baselines.optimal import optimal_uniform_plan, quarter_bound
+from repro.baselines.rendezvous import RendezvousAgent
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.ring.placement import (
+    Placement,
+    equidistant_placement,
+    periodic_placement,
+    placement_from_distances,
+    quarter_packed_placement,
+    random_placement,
+)
+from repro.sim.engine import Engine
+
+
+def _brute_force_optimum(placement: Placement) -> int:
+    """Exhaustive minimum over all uniform target sets and assignments."""
+    n = placement.ring_size
+    k = placement.agent_count
+    base = [i * n // k for i in range(k)]
+    best = None
+    for rotation in range(n):
+        targets = [(t + rotation) % n for t in base]
+        for perm in itertools.permutations(targets):
+            cost = sum(
+                (t - h) % n for h, t in zip(placement.homes, perm)
+            )
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+class TestOptimalPlan:
+    def test_already_uniform_costs_zero(self):
+        plan = optimal_uniform_plan(equidistant_placement(12, 4))
+        assert plan.total_moves == 0
+
+    def test_matches_brute_force_small(self):
+        rng = random.Random(11)
+        for _ in range(4):
+            placement = random_placement(8, 3, rng)
+            plan = optimal_uniform_plan(placement)
+            assert plan.total_moves == _brute_force_optimum(placement)
+
+    def test_targets_are_uniform(self):
+        plan = optimal_uniform_plan(quarter_packed_placement(24, 6))
+        assert verify_positions(sorted(plan.targets), 24).ok
+
+    def test_quarter_packed_meets_theorem1_floor(self):
+        placement = quarter_packed_placement(40, 8)
+        plan = optimal_uniform_plan(placement)
+        assert plan.total_moves >= quarter_bound(40, 8)
+
+    def test_algorithms_within_constant_of_optimal(self):
+        placement = quarter_packed_placement(40, 8)
+        plan = optimal_uniform_plan(placement)
+        for algorithm in ("known_k_full", "known_k_logspace"):
+            result = run_experiment(algorithm, placement)
+            assert result.total_moves <= 12 * max(plan.total_moves, 1)
+
+    def test_per_agent_moves_sum(self):
+        placement = random_placement(15, 4, random.Random(2))
+        plan = optimal_uniform_plan(placement)
+        per_agent = plan.per_agent_moves(placement.homes, 15)
+        assert sum(per_agent) == plan.total_moves
+
+    def test_quarter_bound_formula(self):
+        assert quarter_bound(16, 4) == 4
+        assert quarter_bound(40, 8) == 20
+
+
+class TestRendezvous:
+    def _run(self, placement: Placement):
+        agents = [RendezvousAgent(placement.agent_count) for _ in placement.homes]
+        engine = Engine(placement, agents)
+        engine.run()
+        return engine, agents
+
+    def test_aperiodic_all_gather(self):
+        engine, agents = self._run(placement_from_distances((5, 7, 4, 8)))
+        positions = set(engine.final_positions().values())
+        assert len(positions) == 1
+        assert all(agent.gathered for agent in agents)
+
+    def test_periodic_detects_symmetry(self):
+        # Figure 1(b)-style symmetric ring: rendezvous is unsolvable;
+        # the agents detect it and stay home.
+        placement = periodic_placement((1, 2, 3), 2)
+        engine, agents = self._run(placement)
+        assert all(agent.symmetric for agent in agents)
+        assert all(not agent.gathered for agent in agents)
+        assert set(engine.final_positions().values()) == set(placement.homes)
+
+    def test_contrast_with_uniform_deployment(self):
+        # The paper's headline contrast: on the same symmetric ring,
+        # uniform deployment succeeds where rendezvous cannot.
+        placement = periodic_placement((1, 2, 3), 2)
+        _, agents = self._run(placement)
+        assert all(agent.symmetric for agent in agents)
+        for algorithm in ("known_k_full", "known_k_logspace", "unknown"):
+            assert run_experiment(algorithm, placement).ok
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            RendezvousAgent(0)

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_grid_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--grid", "64x8,128x16"])
+        assert args.grid == [(64, 8), (128, 16)]
+
+    def test_bad_grid_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--grid", "64-8"])
+
+    def test_int_list_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["symmetry", "--degrees", "1,2,4"])
+        assert args.degrees == [1, 2, 4]
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "known_k_full" in output
+        assert "unknown" in output
+
+    def test_run_random_placement(self, capsys):
+        assert main(["run", "--algorithm", "known_k_full", "--n", "24", "--k", "4"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_run_explicit_distances(self, capsys):
+        code = main(["run", "--distances", "5,7,4,8", "--render"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "gaps: 6 x4" in output
+
+    def test_run_with_adversarial_scheduler(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm",
+                "known_k_logspace",
+                "--n",
+                "20",
+                "--k",
+                "4",
+                "--scheduler",
+                "laggard",
+            ]
+        )
+        assert code == 0
+
+    def test_sweep_prints_slopes(self, capsys):
+        code = main(["sweep", "--grid", "24x4,48x4", "--trials", "1"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "log-log slope" in output
+
+    def test_symmetry(self, capsys):
+        code = main(["symmetry", "--n", "48", "--k", "8", "--degrees", "1,2"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 6" in output
+
+    def test_impossibility(self, capsys):
+        code = main(["impossibility", "--distances", "5,7,4,8"])
+        output = capsys.readouterr().out
+        assert code == 0  # construction must fail uniformity => exit 0
+        assert "False" in output
+
+    def test_lower_bound(self, capsys):
+        code = main(["lower-bound", "--sizes", "40x8"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "optimal" in output
+
+    def test_error_path_returns_2(self, capsys):
+        # k > n is a ConfigurationError -> exit code 2, message on stderr.
+        code = main(["run", "--n", "4", "--k", "9"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTimelineCommand:
+    def test_timeline_renders(self, capsys):
+        code = main(
+            ["timeline", "--distances", "1,2,4,5", "--sample-every", "4", "--limit", "8"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "t=   0 |" in output
+        assert "legend" in output
+
+    def test_timeline_random_placement(self, capsys):
+        code = main(["timeline", "--n", "12", "--k", "3", "--limit", "5"])
+        assert code == 0
+        assert "configuration" in capsys.readouterr().out

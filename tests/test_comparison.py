@@ -1,0 +1,65 @@
+"""Tests for the head-to-head comparison driver and its CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.comparison import compare_algorithms
+from repro.ring.placement import placement_from_distances
+
+
+class TestComparison:
+    def test_runs_all_registered_algorithms(self):
+        comparison = compare_algorithms(placement_from_distances((5, 7, 4, 8)))
+        assert set(comparison.results) == {
+            "known_k_full",
+            "known_n_full",
+            "known_k_logspace",
+            "unknown",
+        }
+        assert comparison.all_uniform
+
+    def test_subset_of_algorithms(self):
+        comparison = compare_algorithms(
+            placement_from_distances((5, 7, 4, 8)),
+            algorithms=["known_k_full", "unknown"],
+        )
+        assert set(comparison.results) == {"known_k_full", "unknown"}
+
+    def test_rows_and_winner(self):
+        # Use a larger k: the log-space memory advantage over the
+        # stored distance sequence only materialises beyond tiny k.
+        distances = (1, 2, 3, 4, 5, 6, 7, 8, 9, 2, 4, 9)  # n = 60, k = 12
+        comparison = compare_algorithms(placement_from_distances(distances))
+        rows = comparison.rows()
+        assert len(rows) == 4
+        # The Table 1 trade-offs must show up: the relaxed algorithm
+        # moves the most; a knowledge-of-k full-memory variant is the
+        # fastest; the log-space algorithm uses the least memory.
+        assert comparison.winner("moves") in ("known_k_full", "known_n_full")
+        assert comparison.winner("memory_bits") == "known_k_logspace"
+        unknown_row = next(r for r in rows if r["algorithm"] == "unknown")
+        assert unknown_row["moves"] == max(r["moves"] for r in rows)
+
+    def test_optimal_anchor(self):
+        comparison = compare_algorithms(placement_from_distances((5, 7, 4, 8)))
+        assert comparison.optimal_moves > 0
+        for row in comparison.rows():
+            assert row["moves"] >= comparison.optimal_moves
+
+
+class TestCompareCommand:
+    def test_compare_cli(self, capsys):
+        code = main(
+            ["compare", "--distances", "1,2,3,4,5,6,7,8,9,2,4,9"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "omniscient optimum" in output
+        assert "least memory : known_k_logspace" in output
+
+    def test_compare_random(self, capsys):
+        code = main(["compare", "--n", "30", "--k", "5", "--seed", "4"])
+        assert code == 0
+        assert "fewest moves" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Tests for configuration snapshots (Lemma 1 units) and message types."""
+
+from __future__ import annotations
+
+from repro.core.messages import LeaderNotice, PatrolInfo
+from repro.experiments.runner import build_engine
+from repro.ring.configuration import Configuration, LocalConfiguration
+from repro.ring.placement import Placement, equidistant_placement
+
+
+class TestLocalConfiguration:
+    def _snapshot(self, placement):
+        engine = build_engine("known_k_full", placement)
+        return engine.snapshot()
+
+    def test_corresponding_nodes_equal_in_symmetric_ring(self):
+        # Before any action, two homes with identical surroundings have
+        # equal local configurations (the heart of Lemma 1).
+        snapshot = self._snapshot(equidistant_placement(12, 3))
+        assert snapshot.local(0) == snapshot.local(4) == snapshot.local(8)
+        assert snapshot.local(1) == snapshot.local(5)
+
+    def test_local_config_distinguishes_tokens(self):
+        engine = build_engine("known_k_full", equidistant_placement(12, 3))
+        engine.run_rounds(1)  # everyone released a token and moved
+        snapshot = engine.snapshot()
+        assert snapshot.local(0).tokens == 1
+        assert snapshot.local(1).tokens == 0
+        assert snapshot.local(0) != snapshot.local(1)
+
+    def test_queued_states_in_local_config(self):
+        snapshot = self._snapshot(Placement(ring_size=6, homes=(2,)))
+        local = snapshot.local(2)
+        assert len(local.queued_states) == 1  # the initial buffer
+        assert len(local.staying_states) == 0
+
+    def test_occupied_and_pending_helpers(self):
+        engine = build_engine("known_k_full", equidistant_placement(8, 2))
+        engine.run()
+        snapshot = engine.snapshot()
+        assert snapshot.occupied_nodes() == (0, 4)
+        assert snapshot.all_queues_empty()
+        assert snapshot.total_messages_pending() == 0
+
+    def test_local_configuration_value_semantics(self):
+        first = LocalConfiguration(tokens=1, staying_states=("x",), queued_states=())
+        second = LocalConfiguration(tokens=1, staying_states=("x",), queued_states=())
+        third = LocalConfiguration(tokens=2, staying_states=("x",), queued_states=())
+        assert first == second
+        assert first != third
+
+
+class TestMessages:
+    def test_leader_notice_fields(self):
+        notice = LeaderNotice(t_base=3, f_num=5)
+        assert notice.t_base == 3
+        assert notice.f_num == 5
+
+    def test_patrol_info_block(self):
+        info = PatrolInfo(
+            n_estimate=6, k_estimate=2, nodes_moved=24, distances=(2, 4) * 4
+        )
+        assert info.block == (2, 4)
+
+    def test_messages_are_hashable_values(self):
+        # Frozen dataclasses: usable as set members, compared by value.
+        first = LeaderNotice(t_base=1, f_num=2)
+        second = LeaderNotice(t_base=1, f_num=2)
+        assert first == second
+        assert len({first, second}) == 1

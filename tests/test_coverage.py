@@ -1,0 +1,76 @@
+"""Tests for the service-coverage metrics (paper §1.1 motivation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.coverage import (
+    mean_service_gap,
+    service_gaps,
+    simulate_sweep,
+    worst_service_gap,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.ring.placement import quarter_packed_placement
+
+
+class TestServiceGaps:
+    def test_single_agent(self):
+        gaps = service_gaps(4, [0])
+        assert gaps == [0, 1, 2, 3]
+
+    def test_uniform_two_agents(self):
+        gaps = service_gaps(6, [0, 3])
+        assert gaps == [0, 1, 2, 0, 1, 2]
+
+    def test_worst_and_mean(self):
+        assert worst_service_gap(6, [0, 3]) == 2
+        assert mean_service_gap(6, [0, 3]) == pytest.approx(1.0)
+
+    def test_clustered_is_much_worse(self):
+        clustered = worst_service_gap(40, [0, 1, 2, 3])
+        uniform = worst_service_gap(40, [0, 10, 20, 30])
+        assert clustered == 36
+        assert uniform == 9
+
+    def test_no_agents_rejected(self):
+        with pytest.raises(ConfigurationError):
+            service_gaps(5, [])
+
+
+class TestSweep:
+    def test_every_node_visited(self):
+        visits, _ = simulate_sweep(8, [0, 4], rounds=8)
+        assert all(count > 0 for count in visits.values())
+
+    def test_uniform_cadence_bound(self):
+        # From a uniform configuration the inter-visit interval is n/k.
+        _, max_interval = simulate_sweep(12, [0, 4, 8], rounds=36)
+        assert max_interval == 4
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_sweep(6, [0], rounds=-1)
+
+    def test_zero_rounds(self):
+        visits, max_interval = simulate_sweep(6, [0, 3], rounds=0)
+        assert max_interval == 0
+        assert visits[0] == 1 and visits[1] == 0
+
+
+class TestEndToEndServiceImprovement:
+    def test_deployment_achieves_ceil_cadence(self):
+        placement = quarter_packed_placement(36, 6)
+        before = worst_service_gap(36, placement.homes)
+        result = run_experiment("known_k_logspace", placement)
+        after = worst_service_gap(36, result.final_positions)
+        assert after == math.ceil(36 / 6) - 1 + 0  # gap = n/k - 1 at worst...
+        # worst wait = largest gap minus nothing: uniform gaps of 6 give
+        # the node right after an agent a 5-hop wait.
+        assert after == 5
+        assert before > 4 * after
+        _, interval = simulate_sweep(36, result.final_positions, rounds=72)
+        assert interval == 6  # the ceil(n/k) patrol cadence

@@ -1,0 +1,149 @@
+"""Tests for the tree/graph ring embeddings (E17, paper Section 5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.embedding.deploy import deploy_on_graph, deploy_on_tree
+from repro.embedding.general import Graph, bfs_spanning_tree, random_connected_graph
+from repro.embedding.tree import (
+    Tree,
+    VirtualRing,
+    euler_tour,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTree:
+    def test_validation_edge_count(self):
+        with pytest.raises(ConfigurationError):
+            Tree(3, [(0, 1)])
+
+    def test_validation_connectivity(self):
+        with pytest.raises(ConfigurationError):
+            Tree(4, [(0, 1), (0, 1), (2, 3)])
+
+    def test_validation_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            Tree(2, [(0, 0)])
+
+    def test_distance(self):
+        tree = path_tree(5)
+        assert tree.distance(0, 4) == 4
+        assert tree.distance(2, 2) == 0
+
+    def test_star_distances(self):
+        tree = star_tree(6)
+        assert tree.distance(1, 5) == 2
+        assert tree.distance(0, 3) == 1
+
+    def test_random_tree_is_valid(self):
+        tree = random_tree(30, random.Random(4))
+        assert tree.size == 30  # construction already validates
+
+
+class TestEulerTour:
+    @pytest.mark.parametrize("builder,size", [(path_tree, 6), (star_tree, 6)])
+    def test_length_is_two_n_minus_two(self, builder, size):
+        tree = builder(size)
+        assert len(euler_tour(tree)) == 2 * (size - 1)
+
+    def test_tour_ends_at_root(self):
+        tree = random_tree(12, random.Random(1))
+        tour = euler_tour(tree, root=0)
+        assert tour[-1] == 0
+
+    def test_tour_visits_every_node(self):
+        tree = random_tree(15, random.Random(2))
+        assert set(euler_tour(tree)) | {0} == set(range(15))
+
+    def test_consecutive_positions_are_adjacent(self):
+        tree = random_tree(10, random.Random(3))
+        tour = [0] + euler_tour(tree, root=0)
+        for a, b in zip(tour, tour[1:]):
+            assert tree.distance(a, b) == 1
+
+    def test_single_node_tree(self):
+        assert euler_tour(Tree(1, [])) == [0]
+
+
+class TestVirtualRing:
+    def test_home_mapping_round_trip(self):
+        tree = path_tree(8)
+        ring = VirtualRing.of(tree)
+        for node in range(1, 8):
+            virtual = ring.virtual_home(node)
+            assert ring.tree_node(virtual) == node
+
+    def test_placement_distinct_homes(self):
+        tree = random_tree(12, random.Random(5))
+        ring = VirtualRing.of(tree)
+        placement = ring.placement([1, 4, 7])
+        assert placement.agent_count == 3
+        assert placement.ring_size == 2 * 11
+
+    def test_root_has_no_first_visit_entry(self):
+        # The root appears in the tour only on returns; virtual_home
+        # still finds its first occurrence.
+        tree = path_tree(4)
+        ring = VirtualRing.of(tree)
+        assert ring.tree_node(ring.virtual_home(0)) == 0
+
+
+class TestDeployment:
+    @pytest.mark.parametrize("algorithm", ["known_k_full", "known_k_logspace", "unknown"])
+    def test_deploy_on_random_tree(self, algorithm):
+        tree = random_tree(18, random.Random(6))
+        outcome = deploy_on_tree(tree, [1, 5, 9, 13], algorithm=algorithm)
+        assert outcome.ok, outcome.virtual.report.describe()
+        assert len(outcome.tree_positions) == 4
+
+    def test_path_tree_dispersion(self):
+        outcome = deploy_on_tree(path_tree(16), [0, 1, 2, 3])
+        assert outcome.ok
+        # Uniform on the 30-node virtual ring spreads agents along the
+        # path: no two agents finish on the same tree node here.
+        assert outcome.min_tree_distance >= 1
+        assert outcome.distinct_tree_nodes == 4
+
+    def test_star_tree_deployment(self):
+        outcome = deploy_on_tree(star_tree(10), [1, 2, 3])
+        assert outcome.ok
+
+    def test_moves_scale_with_virtual_ring(self):
+        # The virtual ring has 2(n-1) nodes; total moves stay within the
+        # Algorithm 1 bound of 3 * k * 2(n-1).
+        tree = random_tree(20, random.Random(7))
+        outcome = deploy_on_tree(tree, [2, 6, 10, 14])
+        assert outcome.virtual.total_moves <= 3 * 4 * 2 * 19
+
+
+class TestGraphs:
+    def test_bfs_spanning_tree(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+        tree = bfs_spanning_tree(graph)
+        assert tree.size == 5
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            bfs_spanning_tree(graph)
+
+    def test_random_connected_graph(self):
+        graph = random_connected_graph(20, 10, random.Random(8))
+        tree = bfs_spanning_tree(graph)
+        assert tree.size == 20
+
+    def test_deploy_on_graph(self):
+        graph = random_connected_graph(16, 8, random.Random(9))
+        outcome = deploy_on_graph(graph, [1, 5, 9], algorithm="known_k_full")
+        assert outcome.ok
+
+    def test_duplicate_edges_ignored(self):
+        graph = Graph(3, [(0, 1), (1, 0), (1, 2)])
+        assert len(graph.edges) == 2

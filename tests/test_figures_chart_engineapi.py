@@ -1,0 +1,106 @@
+"""Tests for the figure registry, ASCII charts and the engine round API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.chart import bar_chart, scaling_chart
+from repro.errors import ConfigurationError
+from repro.experiments.figures import FIGURES, figure
+from repro.experiments.runner import build_engine, run_experiment
+from repro.ring.placement import equidistant_placement
+
+
+class TestFigureRegistry:
+    def test_registry_names(self):
+        assert {
+            "figure_1a",
+            "figure_1b",
+            "figure_2",
+            "figure_3",
+            "figure_4",
+            "figure_5",
+            "figure_8_9",
+            "figure_11",
+            "theorem_5_base",
+        } <= set(FIGURES)
+
+    def test_symmetry_degrees_match_paper(self):
+        assert figure("figure_1a").symmetry_degree == 1
+        assert figure("figure_1b").symmetry_degree == 2
+        assert figure("figure_5").symmetry_degree == 3
+        assert figure("figure_11").symmetry_degree == 2
+
+    def test_figure_2_is_already_uniform(self):
+        config = figure("figure_2")
+        assert config.placement.ring_size == 16
+        assert config.expected_gap_low == config.expected_gap_high == 4
+
+    def test_unknown_figure_lists_options(self):
+        with pytest.raises(KeyError, match="figure_1a"):
+            figure("figure_42")
+
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_every_figure_is_solvable_by_every_algorithm(self, name):
+        config = figure(name)
+        for algorithm in ("known_k_full", "known_k_logspace", "unknown"):
+            result = run_experiment(algorithm, config.placement)
+            assert result.ok, f"{algorithm} on {name}"
+            gaps = set(result.report.gaps)
+            assert gaps <= {config.expected_gap_low, config.expected_gap_high}
+
+
+class TestCharts:
+    def test_bar_chart_scaling(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].endswith("1")
+        assert "##########" in lines[1]  # the max bar is full width
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_bar_chart_zero_values(self):
+        text = bar_chart(["x"], [0.0])
+        assert "| 0" in text.replace("  ", " ")
+
+    def test_scaling_chart_slope(self):
+        text = scaling_chart([2, 4, 8], [4, 8, 16], x_name="n", y_name="moves")
+        assert "slope of moves vs n: 1.00" in text
+
+    def test_scaling_chart_expected_annotation(self):
+        text = scaling_chart([2, 4], [2, 4], expected_slope=1)
+        assert "expected ~1" in text
+
+
+class TestEngineRoundApi:
+    def test_run_until_condition(self):
+        engine = build_engine("known_k_full", equidistant_placement(12, 3))
+        fired = engine.run_until(lambda e: e.metrics.total_moves >= 5)
+        assert fired
+        assert engine.metrics.total_moves >= 5
+        assert not engine.quiescent
+
+    def test_run_until_quiescence_returns_predicate_value(self):
+        engine = build_engine("known_k_full", equidistant_placement(12, 3))
+        fired = engine.run_until(lambda e: False)
+        assert not fired
+        assert engine.quiescent
+
+    def test_iter_rounds_terminates(self):
+        engine = build_engine("known_k_full", equidistant_placement(12, 3))
+        rounds = sum(1 for _ in engine.iter_rounds())
+        assert engine.quiescent
+        assert rounds == engine.metrics.rounds
+
+    def test_iter_rounds_observation(self):
+        engine = build_engine("known_k_full", equidistant_placement(12, 3))
+        move_counts = [e.metrics.total_moves for e in engine.iter_rounds()]
+        assert move_counts == sorted(move_counts)  # monotone

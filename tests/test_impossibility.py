@@ -1,0 +1,77 @@
+"""Tests for the Theorem 5 construction (E3, Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.impossibility import (
+    demonstrate_impossibility,
+    expanded_placement,
+    lemma1_window_agreement,
+)
+from repro.ring.placement import placement_from_distances
+
+BASE = placement_from_distances((5, 7, 4, 8))  # n = 24, k = 4, d = 6
+
+
+class TestExpandedPlacement:
+    def test_structure(self):
+        expanded = expanded_placement(BASE, q=2)
+        # R' has 2qn + 2n nodes and k(q+1) agents.
+        assert expanded.ring_size == 2 * 2 * 24 + 2 * 24
+        assert expanded.agent_count == 4 * 3
+
+    def test_prefix_repeats_base_layout(self):
+        expanded = expanded_placement(BASE, q=2)
+        for block in range(3):
+            block_homes = tuple(
+                h - block * 24
+                for h in expanded.homes
+                if block * 24 <= h < (block + 1) * 24
+            )
+            assert block_homes == BASE.homes
+
+    def test_second_half_is_empty(self):
+        expanded = expanded_placement(BASE, q=2)
+        boundary = 2 * 24 + 24  # qn + n
+        assert all(h < boundary for h in expanded.homes)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ConfigurationError):
+            expanded_placement(BASE, q=0)
+
+
+class TestLemma1:
+    def test_full_agreement_during_base_execution(self):
+        agreements = lemma1_window_agreement(BASE, rounds=24)
+        assert all(value == 1.0 for value in agreements)
+
+
+class TestDemonstration:
+    def test_deceived_agents_fail_uniformity(self):
+        outcome = demonstrate_impossibility(BASE)
+        assert outcome.failed_as_predicted
+        assert not outcome.report.ok
+
+    def test_window_gaps_show_base_spacing(self):
+        # Halted agents inside the repeated window sit at spacing d
+        # (possibly with collisions), never at the required 2d.
+        outcome = demonstrate_impossibility(BASE)
+        assert outcome.base_gap == 6
+        assert outcome.expanded_gap == 12
+        assert outcome.observed_prefix_gaps  # non-empty window
+        assert all(gap != outcome.expanded_gap for gap in outcome.observed_prefix_gaps)
+        assert any(gap == outcome.base_gap for gap in outcome.observed_prefix_gaps)
+
+    def test_q_covers_execution_length(self):
+        outcome = demonstrate_impossibility(BASE)
+        assert outcome.q * BASE.ring_size >= outcome.rounds_in_base
+
+    def test_works_for_logspace_algorithm_too(self):
+        outcome = demonstrate_impossibility(BASE, algorithm="known_k_logspace")
+        assert outcome.failed_as_predicted
+
+    def test_requires_integral_gap(self):
+        with pytest.raises(ConfigurationError):
+            demonstrate_impossibility(placement_from_distances((3, 4, 6)))

@@ -1,0 +1,148 @@
+"""Tests for the executable model invariants (DESIGN.md §5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.invariants import (
+    InvariantReport,
+    check_action_pairing,
+    check_all,
+    check_fifo_order,
+    check_halt_stability,
+    check_token_events,
+)
+from repro.experiments.runner import build_engine
+from repro.ring.placement import Placement, random_placement
+from repro.sim.scheduler import RandomScheduler
+from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
+
+import random
+
+
+def _trace(*events):
+    recorder = TraceRecorder()
+    for step, (kind, agent, node) in enumerate(events):
+        recorder.record(
+            TraceEvent(step=step, kind=kind, agent_id=agent, node=node)
+        )
+    return recorder
+
+
+class TestIndividualChecks:
+    def test_queue_reorder_detected(self):
+        # Agents 0 then 1 enter the link into node 1 (MOVE at node 0),
+        # but arrive in the opposite order: a queue reorder.
+        trace = _trace(
+            (TraceEventKind.MOVE, 0, 0),
+            (TraceEventKind.MOVE, 1, 0),
+            (TraceEventKind.ARRIVE, 1, 1),
+            (TraceEventKind.ARRIVE, 0, 1),
+        )
+        report = InvariantReport()
+        check_fifo_order(trace, report, ring_size=4, homes=(2, 3))
+        assert not report.ok
+        assert "reorder" in report.violations[0]
+
+    def test_fifo_order_passes_with_initial_buffers(self):
+        # Agent 0 starts at home node 1 (initial buffer) and must
+        # arrive there before agent 1, which moved in from node 0.
+        trace = _trace(
+            (TraceEventKind.MOVE, 1, 0),
+            (TraceEventKind.ARRIVE, 0, 1),
+            (TraceEventKind.ARRIVE, 1, 1),
+        )
+        report = InvariantReport()
+        check_fifo_order(trace, report, ring_size=4, homes=(1, 0))
+        assert report.ok
+
+    def test_fifo_prefix_allows_still_queued_agents(self):
+        # Agent 1 entered the link but never arrived (trace cut short):
+        # the arrival sequence is a proper prefix -> legal.
+        trace = _trace(
+            (TraceEventKind.MOVE, 0, 0),
+            (TraceEventKind.MOVE, 1, 0),
+            (TraceEventKind.ARRIVE, 0, 1),
+        )
+        report = InvariantReport()
+        check_fifo_order(trace, report, ring_size=4, homes=(2, 3))
+        assert report.ok
+
+    def test_token_counts(self):
+        trace = _trace(
+            (TraceEventKind.TOKEN, 0, 0),
+            (TraceEventKind.TOKEN, 0, 1),
+            (TraceEventKind.TOKEN, 1, 2),
+        )
+        report = InvariantReport()
+        check_token_events(trace, report, agent_count=2)
+        assert not report.ok  # agent 0 released twice
+
+    def test_missing_token_release(self):
+        trace = _trace((TraceEventKind.TOKEN, 0, 0))
+        report = InvariantReport()
+        check_token_events(trace, report, agent_count=2)
+        assert any("1/2" in violation for violation in report.violations)
+
+    def test_action_pairing_detects_wrong_node(self):
+        trace = _trace(
+            (TraceEventKind.ARRIVE, 0, 3),
+            (TraceEventKind.MOVE, 0, 4),  # resolved at a different node
+        )
+        report = InvariantReport()
+        check_action_pairing(trace, report)
+        assert not report.ok
+
+    def test_action_pairing_detects_unresolved(self):
+        trace = _trace((TraceEventKind.ARRIVE, 0, 3))
+        report = InvariantReport()
+        check_action_pairing(trace, report)
+        assert "unresolved" in report.violations[0]
+
+    def test_halt_stability_detects_zombie(self):
+        trace = _trace(
+            (TraceEventKind.ARRIVE, 0, 1),
+            (TraceEventKind.SETTLE, 0, 1),
+            (TraceEventKind.HALT, 0, 1),
+            (TraceEventKind.MOVE, 0, 1),  # zombie action after halt
+        )
+        report = InvariantReport()
+        check_halt_stability(trace, report)
+        assert not report.ok
+
+    def test_report_describe(self):
+        report = InvariantReport()
+        assert report.describe() == "all invariants hold"
+        report.add("boom")
+        assert "boom" in report.describe()
+
+
+class TestRealExecutions:
+    @pytest.mark.parametrize(
+        "algorithm", ["known_k_full", "known_k_logspace", "unknown"]
+    )
+    def test_invariants_hold_on_real_runs(self, algorithm):
+        placement = Placement(ring_size=20, homes=(0, 3, 9, 14))
+        trace = TraceRecorder()
+        engine = build_engine(algorithm, placement, trace=trace)
+        engine.run()
+        report = check_all(trace, placement.ring_size, placement.homes)
+        assert report.ok, report.describe()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_invariants_hold_under_random_schedules(self, seed):
+        rng = random.Random(seed)
+        placement = random_placement(rng.randint(6, 24), rng.randint(2, 5), rng)
+        algorithm = rng.choice(["known_k_full", "known_k_logspace", "unknown"])
+        trace = TraceRecorder()
+        engine = build_engine(
+            algorithm, placement, scheduler=RandomScheduler(seed), trace=trace
+        )
+        engine.run()
+        report = check_all(trace, placement.ring_size, placement.homes)
+        assert report.ok, f"{algorithm} on {placement.describe()}: {report.describe()}"

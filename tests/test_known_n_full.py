@@ -1,0 +1,79 @@
+"""Tests for the footnote-2 variant: knowledge of n instead of k."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.known_n_full import KnownNFullAgent
+from repro.errors import ConfigurationError
+from repro.experiments.runner import build_engine, run_experiment
+from repro.ring.placement import (
+    Placement,
+    equidistant_placement,
+    periodic_placement,
+    placement_from_distances,
+    random_placement,
+)
+from repro.sim.scheduler import LaggardScheduler, RandomScheduler
+
+ALGO = "known_n_full"
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "distances",
+        [
+            (5, 7, 4, 8),
+            (1, 4, 2, 1, 2, 2),
+            (1, 2, 3, 1, 2, 3),
+            (3, 3, 3),
+            (1, 1, 1, 9),
+        ],
+    )
+    def test_exact_configurations(self, distances):
+        result = run_experiment(ALGO, placement_from_distances(distances))
+        assert result.ok, result.report.describe()
+
+    @pytest.mark.parametrize("n,k", [(12, 4), (13, 4), (17, 5), (9, 9), (7, 2)])
+    def test_random_placements(self, n, k, rng):
+        for _ in range(3):
+            result = run_experiment(ALGO, random_placement(n, k, rng))
+            assert result.ok, result.report.describe()
+
+    def test_learns_k_from_tokens(self, rng):
+        placement = random_placement(20, 5, rng)
+        engine = build_engine(ALGO, placement)
+        engine.run()
+        for agent_id in engine.agent_ids:
+            assert engine.agent(agent_id).k == 5
+
+    def test_matches_known_k_variant_exactly(self, rng):
+        # Same deployment rule, different circuit detection: the final
+        # configurations must be identical.
+        for _ in range(5):
+            placement = random_placement(24, 6, rng)
+            by_k = run_experiment("known_k_full", placement)
+            by_n = run_experiment(ALGO, placement)
+            assert by_k.final_positions == by_n.final_positions
+            assert by_k.total_moves == by_n.total_moves
+
+    def test_periodic_ring(self):
+        assert run_experiment(ALGO, periodic_placement((2, 5, 3), 2)).ok
+
+    def test_single_agent(self):
+        assert run_experiment(ALGO, Placement(ring_size=7, homes=(2,))).ok
+
+    def test_async_schedulers(self, rng):
+        placement = random_placement(18, 4, rng)
+        for scheduler in (RandomScheduler(3), LaggardScheduler([1], patience=50)):
+            assert run_experiment(ALGO, placement, scheduler=scheduler).ok
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            KnownNFullAgent(0)
+
+    def test_already_uniform(self):
+        placement = equidistant_placement(20, 5)
+        result = run_experiment(ALGO, placement)
+        assert result.ok
+        assert result.final_positions == placement.homes

@@ -1,0 +1,112 @@
+"""Unit tests for initial-placement generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ring.placement import (
+    Placement,
+    equidistant_placement,
+    periodic_placement,
+    placement_from_distances,
+    quarter_packed_placement,
+    random_aperiodic_block,
+    random_placement,
+)
+
+
+class TestPlacement:
+    def test_normalises_and_sorts_homes(self):
+        placement = Placement(ring_size=10, homes=(7, 12, 3))
+        assert placement.homes == (2, 3, 7)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            Placement(ring_size=10, homes=(1, 11))
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            Placement(ring_size=3, homes=(0, 1, 2, 3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Placement(ring_size=3, homes=())
+
+    def test_distances_and_degree(self):
+        placement = placement_from_distances((1, 2, 3, 1, 2, 3))
+        assert placement.ring_size == 12
+        assert placement.distances == (1, 2, 3, 1, 2, 3)
+        assert placement.symmetry_degree == 2
+
+    def test_describe_mentions_basics(self):
+        text = Placement(ring_size=8, homes=(0, 4)).describe()
+        assert "n=8" in text and "k=2" in text
+
+
+class TestGenerators:
+    def test_random_placement_distinct(self):
+        rng = random.Random(1)
+        placement = random_placement(30, 10, rng)
+        assert len(set(placement.homes)) == 10
+        assert placement.ring_size == 30
+
+    def test_random_placement_overflow(self):
+        with pytest.raises(ConfigurationError):
+            random_placement(4, 5, random.Random(0))
+
+    def test_equidistant_is_uniform(self):
+        placement = equidistant_placement(16, 4)
+        assert placement.distances == (4, 4, 4, 4)
+        assert placement.symmetry_degree == 4
+
+    def test_equidistant_uneven(self):
+        placement = equidistant_placement(10, 4)
+        assert sorted(placement.distances) == [2, 2, 3, 3]
+
+    def test_quarter_packed(self):
+        placement = quarter_packed_placement(40, 10)
+        assert placement.homes == tuple(range(10))
+
+    def test_quarter_packed_overflow(self):
+        with pytest.raises(ConfigurationError):
+            quarter_packed_placement(16, 5)
+
+    def test_periodic_placement_degree(self):
+        placement = periodic_placement((1, 2, 3), 3)
+        assert placement.ring_size == 18
+        assert placement.symmetry_degree == 3
+
+    def test_periodic_rejects_periodic_block(self):
+        with pytest.raises(ConfigurationError):
+            periodic_placement((2, 2), 2)
+
+    def test_periodic_rejects_bad_repetitions(self):
+        with pytest.raises(ConfigurationError):
+            periodic_placement((1, 2), 0)
+
+    def test_random_aperiodic_block(self):
+        rng = random.Random(5)
+        block = random_aperiodic_block(4, 6, rng)
+        assert len(block) == 4
+        placement = periodic_placement(block, 2)
+        assert placement.symmetry_degree == 2
+
+    def test_random_aperiodic_block_length_one(self):
+        assert len(random_aperiodic_block(1, 3, random.Random(0))) == 1
+
+    def test_random_aperiodic_block_impossible(self):
+        with pytest.raises(ConfigurationError):
+            random_aperiodic_block(3, 1, random.Random(0))
+
+    @given(st.integers(2, 40), st.integers(1, 10), st.integers(0, 999))
+    def test_random_placement_property(self, n, k, seed):
+        k = min(k, n)
+        placement = random_placement(n, k, random.Random(seed))
+        assert sum(placement.distances) == n
+        assert len(placement.homes) == k
+        assert 1 <= placement.symmetry_degree <= k

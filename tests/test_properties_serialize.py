@@ -1,0 +1,63 @@
+"""Hypothesis property tests for serialisation and coverage identities."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import mean_service_gap, service_gaps, worst_service_gap
+from repro.experiments.runner import run_experiment
+from repro.experiments.serialize import results_from_json, results_to_json
+from repro.ring.placement import Placement, random_placement
+
+
+@st.composite
+def agent_sets(draw):
+    n = draw(st.integers(4, 40))
+    k = draw(st.integers(1, min(n, 8)))
+    nodes = draw(
+        st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True)
+    )
+    return n, nodes
+
+
+@given(agent_sets())
+def test_service_gap_identities(data):
+    n, nodes = data
+    gaps = service_gaps(n, nodes)
+    # Identity 1: agents have gap 0, and those are the only zeros.
+    zero_nodes = {index for index, gap in enumerate(gaps) if gap == 0}
+    assert zero_nodes == set(nodes)
+    # Identity 2: the worst gap is max inter-agent distance minus 1... or
+    # equivalently the sum over each segment is a triangular walk; check
+    # the mean equals sum(g*(g+1)/2 for segment gaps g)/n.
+    ordered = sorted(nodes)
+    segment_gaps = [
+        (ordered[(index + 1) % len(ordered)] - ordered[index]) % n or n
+        for index in range(len(ordered))
+    ]
+    expected_mean = sum(g * (g - 1) // 2 for g in segment_gaps) / n
+    assert abs(mean_service_gap(n, nodes) - expected_mean) < 1e-9
+    assert worst_service_gap(n, nodes) == max(g - 1 for g in segment_gaps)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_serialization_round_trip_random_runs(seed):
+    rng = random.Random(seed)
+    placement = random_placement(rng.randint(6, 24), rng.randint(2, 5), rng)
+    algorithm = rng.choice(["known_k_full", "known_n_full", "unknown"])
+    results = [run_experiment(algorithm, placement)]
+    assert results_from_json(results_to_json(results)) == results
+
+
+@given(st.integers(2, 30), st.integers(1, 8))
+def test_placement_round_trips_through_distances(n, k):
+    k = min(n, k)
+    rng = random.Random(n * 1000 + k)
+    placement = random_placement(n, k, rng)
+    rebuilt = Placement(ring_size=n, homes=placement.homes)
+    assert rebuilt == placement
+    assert sum(placement.distances) == n

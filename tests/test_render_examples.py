@@ -1,0 +1,57 @@
+"""Tests for the ASCII renderer and smoke tests for every example script."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+from repro.analysis.render import render_configuration, render_gaps, render_positions
+from repro.experiments.runner import build_engine
+from repro.ring.placement import equidistant_placement
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestRender:
+    def test_render_positions_markers(self):
+        text = render_positions(6, agent_nodes=[0, 3], token_nodes=[3, 5])
+        assert text == "a..A.T"
+
+    def test_render_positions_width(self):
+        text = render_positions(3, agent_nodes=[1], width=2)
+        assert text == "..aa.."
+
+    def test_render_gaps(self):
+        assert render_gaps(12, [0, 4, 8]) == "gaps: 4 x3"
+        assert render_gaps(10, [0, 3, 6, 8]) == "gaps: 2 x2, 3 x2"
+
+    def test_render_gaps_empty(self):
+        assert render_gaps(5, []) == "gaps: (none)"
+
+    def test_render_configuration_lifecycle(self):
+        engine = build_engine("known_k_full", equidistant_placement(8, 2))
+        before = render_configuration(engine.snapshot())
+        assert ">" in before  # agents start queued in their home buffers
+        engine.run()
+        after = render_configuration(engine.snapshot())
+        assert after.count("A") == 2  # halted agents on token nodes
+        assert ">" not in after
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_example_runs_cleanly(self, script, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+        output = capsys.readouterr().out
+        assert output.strip(), f"{script} produced no output"
+        assert "FAILED" not in output
+
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 3

@@ -1,0 +1,65 @@
+"""Deterministic replay: a recorded schedule reproduces the execution."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.runner import build_engine
+from repro.ring.placement import Placement, random_placement
+from repro.sim.scheduler import RandomScheduler, ReplayScheduler
+from repro.sim.trace import TraceEventKind, TraceRecorder
+
+
+def _events(trace: TraceRecorder):
+    return [
+        (event.kind, event.agent_id, event.node)
+        for event in trace.events
+    ]
+
+
+@pytest.mark.parametrize("algorithm", ["known_k_full", "known_k_logspace", "unknown"])
+def test_replay_reproduces_random_run(algorithm):
+    placement = random_placement(20, 4, random.Random(77))
+
+    original_trace = TraceRecorder()
+    original = build_engine(
+        algorithm, placement, scheduler=RandomScheduler(5), trace=original_trace
+    )
+    original.run()
+
+    replay_trace = TraceRecorder()
+    replay = build_engine(
+        algorithm,
+        placement,
+        scheduler=ReplayScheduler(original.activation_log),
+        trace=replay_trace,
+    )
+    replay.run()
+
+    assert _events(replay_trace) == _events(original_trace)
+    assert replay.final_positions() == original.final_positions()
+    assert replay.metrics.total_moves == original.metrics.total_moves
+    assert replay.activation_log == original.activation_log
+
+
+def test_replay_fallback_after_log_exhaustion():
+    placement = Placement(ring_size=10, homes=(0, 5))
+    scheduler = ReplayScheduler([0])  # far too short for a full run
+    engine = build_engine("known_k_full", placement, scheduler=scheduler)
+    engine.run()  # must still finish via the fallback policy
+    assert engine.quiescent
+    assert scheduler.exhausted
+
+
+def test_replay_skips_disabled_entries():
+    scheduler = ReplayScheduler([9, 9, 1])
+    assert scheduler.next_batch([1, 2]) == [1]  # 9 is skipped twice
+
+
+def test_activation_log_grows_with_steps():
+    placement = Placement(ring_size=8, homes=(0, 4))
+    engine = build_engine("known_k_full", placement)
+    engine.run_rounds(3)
+    assert len(engine.activation_log) == engine.steps

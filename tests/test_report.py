@@ -1,0 +1,50 @@
+"""Tests for the one-shot report generator and its CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import PROFILES, generate_report
+
+
+class TestGenerateReport:
+    def test_quick_profile_structure(self):
+        text = generate_report("quick")
+        assert "# Experiment report" in text
+        assert "## Table 1 sweeps" in text
+        assert "## Result 4 adaptivity" in text
+        assert "## Theorem 1 lower bound" in text
+        assert "## Theorem 5 impossibility construction" in text
+        assert "## Figure configurations" in text
+        assert "## Rendezvous contrast" in text
+
+    def test_quick_profile_claims(self):
+        text = generate_report("quick")
+        # Every algorithm section must report all-uniform.
+        assert text.count("all runs uniform: **True**") == 4
+        # The impossibility construction must fail uniformity.
+        assert "uniform on R': **False**" in text
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report("gigantic")
+
+    def test_profiles_registry(self):
+        assert set(PROFILES) == {"quick", "full"}
+        assert PROFILES["full"].n_sweep[-1] > PROFILES["quick"].n_sweep[-1]
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        code = main(["report", "--profile", "quick"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "# Experiment report" in output
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(["report", "--profile", "quick", "--output", str(target)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert target.read_text().startswith("# Experiment report")

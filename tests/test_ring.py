@@ -1,0 +1,120 @@
+"""Unit tests for the ring substrate: FIFO links, tokens, occupancy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.ring.network import Ring
+
+
+class TestStructure:
+    def test_size_and_successor(self):
+        ring = Ring(5)
+        assert ring.size == 5
+        assert ring.successor(0) == 1
+        assert ring.successor(4) == 0
+
+    def test_forward_distance(self):
+        ring = Ring(10)
+        assert ring.forward_distance(2, 7) == 5
+        assert ring.forward_distance(7, 2) == 5
+        assert ring.forward_distance(3, 3) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            Ring(0)
+
+
+class TestTokens:
+    def test_release_is_monotone(self):
+        ring = Ring(4)
+        assert ring.tokens_at(2) == 0
+        ring.release_token(2)
+        ring.release_token(2)
+        assert ring.tokens_at(2) == 2
+        assert ring.token_counts == (0, 0, 2, 0)
+
+
+class TestQueues:
+    def test_fifo_order(self):
+        ring = Ring(4)
+        ring.enqueue(10, 1)
+        ring.enqueue(11, 1)
+        assert ring.queue_head(1) == 10
+        assert ring.queue_contents(1) == (10, 11)
+        ring.dequeue(10, 1)
+        assert ring.queue_head(1) == 11
+
+    def test_dequeue_non_head_is_an_overtake(self):
+        ring = Ring(4)
+        ring.enqueue(10, 1)
+        ring.enqueue(11, 1)
+        with pytest.raises(SimulationError):
+            ring.dequeue(11, 1)
+
+    def test_dequeue_empty(self):
+        ring = Ring(4)
+        with pytest.raises(SimulationError):
+            ring.dequeue(1, 0)
+        with pytest.raises(SimulationError):
+            ring.queue_head(0)
+
+    def test_all_queues_empty(self):
+        ring = Ring(3)
+        assert ring.all_queues_empty()
+        ring.enqueue(1, 0)
+        assert not ring.all_queues_empty()
+
+    def test_iter_in_transit(self):
+        ring = Ring(3)
+        ring.enqueue(1, 0)
+        ring.enqueue(2, 2)
+        assert sorted(ring.iter_in_transit()) == [1, 2]
+
+
+class TestOccupancy:
+    def test_settle_and_depart(self):
+        ring = Ring(4)
+        ring.settle(7, 3)
+        assert ring.staying_at(3) == {7}
+        assert ring.locate(7) == ("node", 3)
+        assert ring.occupied_nodes() == [3]
+        ring.depart(7, 3)
+        assert ring.staying_at(3) == set()
+
+    def test_double_placement_rejected(self):
+        ring = Ring(4)
+        ring.settle(7, 3)
+        with pytest.raises(SimulationError):
+            ring.settle(7, 2)
+        with pytest.raises(SimulationError):
+            ring.enqueue(7, 1)
+
+    def test_depart_missing_agent(self):
+        ring = Ring(4)
+        with pytest.raises(SimulationError):
+            ring.depart(9, 0)
+
+    def test_locate_unknown_agent(self):
+        ring = Ring(4)
+        with pytest.raises(SimulationError):
+            ring.locate(42)
+
+    def test_queue_then_settle_cycle(self):
+        ring = Ring(4)
+        ring.enqueue(5, 2)
+        assert ring.locate(5) == ("queue", 2)
+        ring.dequeue(5, 2)
+        ring.settle(5, 2)
+        assert ring.locate(5) == ("node", 2)
+        ring.depart(5, 2)
+        ring.enqueue(5, 3)
+        assert ring.locate(5) == ("queue", 3)
+
+    def test_staying_at_returns_copy(self):
+        ring = Ring(4)
+        ring.settle(1, 0)
+        view = ring.staying_at(0)
+        view.add(99)
+        assert ring.staying_at(0) == {1}

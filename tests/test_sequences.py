@@ -1,0 +1,226 @@
+"""Unit and property tests for the distance-sequence toolkit (E7, E12)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sequences import (
+    configuration_distance_sequence,
+    distances_from_positions,
+    fourfold_prefix_period,
+    is_fourfold_repetition,
+    is_periodic,
+    minimal_period,
+    minimal_rotation,
+    minimal_rotation_index,
+    positions_from_distances,
+    prefix_alignment_shift,
+    rotation_rank,
+    shift,
+    symmetry_degree,
+)
+from repro.errors import ConfigurationError
+
+from .conftest import brute_force_min_period, brute_force_min_rotation_index
+
+sequences = st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=24)
+positive_sequences = st.lists(
+    st.integers(min_value=1, max_value=9), min_size=1, max_size=16
+)
+
+
+class TestShift:
+    def test_identity(self):
+        assert shift((1, 2, 3), 0) == (1, 2, 3)
+
+    def test_basic(self):
+        assert shift((1, 2, 3, 4), 1) == (2, 3, 4, 1)
+        assert shift((1, 2, 3, 4), 3) == (4, 1, 2, 3)
+
+    def test_wraps_modulo_length(self):
+        assert shift((1, 2, 3), 4) == shift((1, 2, 3), 1)
+        assert shift((1, 2, 3), -1) == (3, 1, 2)
+
+    def test_empty(self):
+        assert shift((), 5) == ()
+
+    @given(sequences, st.integers(min_value=0, max_value=50))
+    def test_shift_composition(self, seq, amount):
+        once = shift(seq, amount)
+        assert shift(once, len(seq) - amount % len(seq)) == tuple(seq)
+
+
+class TestMinimalRotation:
+    def test_paper_figure_1a(self):
+        # Figure 1(a): distance sequence (1,4,2,1,2,2) is aperiodic.
+        seq = (1, 4, 2, 1, 2, 2)
+        assert minimal_rotation(seq) == (1, 2, 2, 1, 4, 2)
+
+    def test_all_equal(self):
+        assert minimal_rotation_index((5, 5, 5)) == 0
+
+    def test_tie_breaks_to_smallest_index(self):
+        # (1,2,1,2): rotations 0 and 2 tie; the smallest index wins.
+        assert minimal_rotation_index((1, 2, 1, 2)) == 0
+        assert minimal_rotation_index((2, 1, 2, 1)) == 1
+
+    def test_rank_alias(self):
+        assert rotation_rank((3, 1, 2)) == minimal_rotation_index((3, 1, 2))
+
+    @given(sequences)
+    @settings(max_examples=200)
+    def test_matches_brute_force(self, seq):
+        assert minimal_rotation_index(seq) == brute_force_min_rotation_index(seq)
+
+    @given(sequences)
+    def test_result_is_minimal(self, seq):
+        best = minimal_rotation(seq)
+        for amount in range(len(seq)):
+            assert best <= shift(seq, amount)
+
+
+class TestMinimalPeriod:
+    def test_aperiodic(self):
+        assert minimal_period((1, 4, 2, 1, 2, 2)) == 6
+
+    def test_paper_figure_1b(self):
+        # Figure 1(b): (1,2,3,1,2,3) = (1,2,3)^2 has period 3, degree 2.
+        assert minimal_period((1, 2, 3, 1, 2, 3)) == 3
+        assert symmetry_degree((1, 2, 3, 1, 2, 3)) == 2
+
+    def test_constant_sequence(self):
+        assert minimal_period((7, 7, 7, 7)) == 1
+        assert symmetry_degree((7, 7, 7, 7)) == 4
+
+    def test_border_not_period(self):
+        # (1,2,1) has border (1) but 2 does not divide 3: aperiodic.
+        assert minimal_period((1, 2, 1)) == 3
+
+    def test_is_periodic(self):
+        assert is_periodic((1, 2, 1, 2))
+        assert not is_periodic((1, 2, 3))
+        assert not is_periodic(())
+
+    def test_symmetry_degree_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            symmetry_degree(())
+
+    @given(sequences)
+    @settings(max_examples=200)
+    def test_matches_brute_force(self, seq):
+        assert minimal_period(seq) == brute_force_min_period(seq)
+
+    @given(sequences)
+    def test_period_divides_length(self, seq):
+        assert len(seq) % minimal_period(seq) == 0
+
+
+class TestFourfold:
+    def test_paper_figure_8(self):
+        # Figure 8: the agent sees (1,3,1,3,1,3,1,3) = (1,3)^4 and
+        # estimates 4 nodes.
+        seq = (1, 3) * 4
+        assert is_fourfold_repetition(seq)
+        assert fourfold_prefix_period(seq) == 2
+
+    def test_not_multiple_of_four(self):
+        assert not is_fourfold_repetition((1, 1, 1))
+
+    def test_multiple_of_four_but_not_repetition(self):
+        assert not is_fourfold_repetition((1, 2, 3, 4))
+        assert fourfold_prefix_period((1, 2, 3, 4)) is None
+
+    def test_longer_block(self):
+        assert is_fourfold_repetition((2, 5, 1) * 4)
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=6))
+    def test_constructed_repetition_detected(self, block):
+        assert is_fourfold_repetition(tuple(block) * 4)
+
+
+class TestPositionsDistances:
+    def test_round_trip(self):
+        positions = [0, 3, 7, 12]
+        gaps = distances_from_positions(positions, 16)
+        assert gaps == (3, 4, 5, 4)
+        assert positions_from_distances(gaps, start=0) == positions
+
+    def test_single_agent_full_circle(self):
+        assert distances_from_positions([5], 9) == (9,)
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distances_from_positions([1, 1], 8)
+
+    def test_zero_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            distances_from_positions([0], 0)
+
+    def test_distances_must_sum_to_ring(self):
+        with pytest.raises(ConfigurationError):
+            positions_from_distances((1, 2), ring_size=10)
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            positions_from_distances((0, 4), ring_size=4)
+
+    def test_configuration_distance_sequence_is_minimal(self):
+        seq = configuration_distance_sequence([0, 1, 5], 12)
+        assert seq == minimal_rotation(seq)
+
+    @given(positive_sequences)
+    def test_round_trip_property(self, gaps):
+        positions = positions_from_distances(gaps)
+        ring = sum(gaps)
+        recovered = distances_from_positions(positions, ring)
+        # Recovered gaps are a rotation of the input (sorted start).
+        assert sorted(recovered) == sorted(gaps)
+        assert sum(recovered) == ring
+
+
+class TestPrefixAlignment:
+    def test_exact_alignment(self):
+        # Sender block (2,3,4); receiver observed (3,4,2)*4 and sits
+        # 2 hops ahead of the sender's home: shift t=1.
+        own = (3, 4, 2) * 4
+        assert prefix_alignment_shift(own, (2, 3, 4), 2) == 1
+
+    def test_zero_shift(self):
+        own = (2, 3, 4) * 4
+        assert prefix_alignment_shift(own, (2, 3, 4), 0) == 0
+
+    def test_modular_gap(self):
+        # Gaps beyond one circuit reduce modulo the block sum (9).
+        own = (3, 4, 2) * 4
+        assert prefix_alignment_shift(own, (2, 3, 4), 2 + 9 * 5) == 1
+
+    def test_negative_gap(self):
+        own = (3, 4, 2) * 4
+        assert prefix_alignment_shift(own, (2, 3, 4), 2 - 9) == 1
+
+    def test_mismatched_sequence(self):
+        assert prefix_alignment_shift((9, 9, 9), (2, 3, 4), 2) is None
+
+    def test_gap_with_no_prefix_sum(self):
+        # No prefix of (2,3,4) sums to 1.
+        assert prefix_alignment_shift((3, 4, 2), (2, 3, 4), 1) is None
+
+    def test_empty_block(self):
+        assert prefix_alignment_shift((1,), (), 0) is None
+
+    @given(
+        st.lists(st.integers(1, 4), min_size=1, max_size=5),
+        st.integers(0, 4),
+        st.integers(0, 3),
+    )
+    def test_constructed_alignment_found(self, block, t_index, laps):
+        block = tuple(block)
+        t = t_index % len(block)
+        own = (block[t:] + block[:t]) * 4
+        gap = sum(block[:t]) + laps * sum(block)
+        found = prefix_alignment_shift(own, block, gap)
+        assert found is not None
+        # The found shift must produce the same rotation we built.
+        assert block[found:] + block[:found] == block[t:] + block[:t]

@@ -1,0 +1,120 @@
+"""Unit and property tests for the §3.1.1 target arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.verification import verify_positions
+from repro.core.targets import (
+    hop_to_next_target,
+    segment_offsets,
+    target_offset,
+    uniform_targets,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTargetOffset:
+    def test_exact_division(self):
+        # n = 16, k = 4, b = 1: offsets 0, 4, 8, 12.
+        assert segment_offsets(16, 4, 1) == [0, 4, 8, 12]
+
+    def test_remainder_spread_first(self):
+        # n = 10, k = 4: floor = 2, r = 2; first two gaps are 3.
+        assert segment_offsets(10, 4, 1) == [0, 3, 6, 8]
+
+    def test_multiple_bases(self):
+        # n = 18, k = 9, b = 3 (the Figure 5 layout): 3 targets per
+        # segment of length 6, gaps of 2.
+        assert segment_offsets(18, 9, 3) == [0, 2, 4]
+
+    def test_multiple_bases_with_remainder(self):
+        # n = 22, k = 8, b = 2: r = 6, r/b = 3, floor = 2.
+        # Segment length 11; offsets 0,3,6,9 then gaps 2 for the rest.
+        assert segment_offsets(22, 8, 2) == [0, 3, 6, 9]
+
+    def test_rank_zero_is_base(self):
+        assert target_offset(0, 12, 4, 1) == 0
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            target_offset(4, 16, 4, 1)
+        with pytest.raises(ConfigurationError):
+            target_offset(-1, 16, 4, 1)
+
+    def test_base_count_must_divide_k(self):
+        with pytest.raises(ConfigurationError):
+            target_offset(0, 16, 4, 3)
+
+    def test_base_count_must_divide_remainder(self):
+        # n = 10, k = 4, b = 2: r = 2, divisible; n = 11 -> r = 3, not.
+        segment_offsets(10, 4, 2)
+        with pytest.raises(ConfigurationError):
+            segment_offsets(11, 4, 2)
+
+    def test_positive_arguments_required(self):
+        with pytest.raises(ConfigurationError):
+            target_offset(0, 0, 4, 1)
+
+
+class TestHops:
+    def test_hops_cycle_through_segment(self):
+        index = 0
+        total = 0
+        for _ in range(4):  # one full segment: k/b = 4 targets
+            step, index = hop_to_next_target(index, 16, 4, 1)
+            total += step
+        assert index == 0
+        assert total == 16  # wrapped exactly one segment (= ring, b = 1)
+
+    def test_hops_with_remainder(self):
+        # n = 10, k = 4: gaps 3, 3, 2, 2.
+        steps = []
+        index = 0
+        for _ in range(4):
+            step, index = hop_to_next_target(index, 10, 4, 1)
+            steps.append(step)
+        assert steps == [3, 3, 2, 2]
+
+    def test_hop_index_validation(self):
+        with pytest.raises(ConfigurationError):
+            hop_to_next_target(4, 16, 4, 1)
+
+
+class TestUniformTargets:
+    def test_targets_form_uniform_configuration(self):
+        targets = uniform_targets(5, 18, 9, 3)
+        assert len(targets) == 9
+        assert verify_positions(targets, 18).ok
+
+    @given(
+        st.integers(2, 12),
+        st.integers(1, 6),
+        st.integers(0, 30),
+        st.integers(1, 3),
+    )
+    def test_property_uniform_for_valid_bases(self, k, c, base_node, b):
+        # Build n so that b divides both k and n mod k.
+        if k % b != 0:
+            k = k * b
+        n = c * k + b * (k // b // 2 if k // b > 1 else 0)
+        if n < k:
+            n = k
+        remainder = n % k
+        if remainder % b != 0:
+            n += b - (remainder % b) * 0  # keep n; skip invalid combos
+            if (n % k) % b != 0:
+                return
+        targets = uniform_targets(base_node % n, n, k, b)
+        assert len(targets) == k
+        assert verify_positions(targets, n).ok
+
+    @given(st.integers(2, 10), st.integers(1, 5))
+    def test_offsets_monotone_and_bounded(self, k, c):
+        n = c * k + (k // 2)
+        offsets = segment_offsets(n, k, 1)
+        assert offsets[0] == 0
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))
+        assert offsets[-1] < n

@@ -1,0 +1,88 @@
+"""Tests for the uniform-deployment verifier (E8: Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verification import (
+    allowed_gaps,
+    require_uniform_deployment,
+    verify_positions,
+)
+from repro.errors import VerificationError
+from repro.experiments.runner import build_engine
+from repro.ring.placement import Placement, equidistant_placement
+
+
+class TestAllowedGaps:
+    def test_exact(self):
+        assert allowed_gaps(16, 4) == (4, 4)
+
+    def test_with_remainder(self):
+        assert allowed_gaps(10, 4) == (2, 3)
+
+    def test_k_equals_n(self):
+        assert allowed_gaps(5, 5) == (1, 1)
+
+
+class TestVerifyPositions:
+    def test_paper_figure_2(self):
+        # Figure 2: n = 16, k = 4 — agents every 4 nodes (the caption's
+        # d = 3 counts the nodes strictly between adjacent agents).
+        assert verify_positions([0, 4, 8, 12], 16).ok
+
+    def test_uneven_but_legal(self):
+        # n = 10, k = 4: gaps must be two 3s and two 2s.
+        assert verify_positions([0, 3, 6, 8], 10).ok
+
+    def test_wrong_gap_detected(self):
+        report = verify_positions([0, 1, 8, 12], 16)
+        assert not report.ok
+        assert any("outside" in failure for failure in report.failures)
+
+    def test_wrong_large_gap_count_detected(self):
+        # n = 10, k = 4 needs exactly two gaps of 3; 0,2,4,7 has gaps
+        # (2,2,3,3)... adjust to get a wrong multiset: 0,2,4,6 -> gaps
+        # (2,2,2,4): 4 is out of range, caught by the range check.
+        report = verify_positions([0, 2, 4, 6], 10)
+        assert not report.ok
+
+    def test_duplicate_positions(self):
+        report = verify_positions([3, 3, 8], 12)
+        assert not report.ok
+        assert "share a node" in report.failures[0]
+
+    def test_no_agents(self):
+        assert not verify_positions([], 5).ok
+
+    def test_report_describe(self):
+        ok_text = verify_positions([0, 4, 8, 12], 16).describe()
+        assert ok_text.startswith("UNIFORM")
+        bad_text = verify_positions([0, 1, 2, 3], 16).describe()
+        assert bad_text.startswith("NOT UNIFORM")
+
+    def test_bool_protocol(self):
+        assert bool(verify_positions([0, 8], 16))
+        assert not bool(verify_positions([0, 1], 16))
+
+
+class TestEngineVerification:
+    def test_require_raises_on_unfinished_run(self):
+        engine = build_engine("known_k_full", equidistant_placement(12, 3))
+        engine.run_rounds(1)  # agents now in transit
+        with pytest.raises(VerificationError):
+            require_uniform_deployment(engine, require_halted=True)
+
+    def test_require_passes_after_full_run(self):
+        engine = build_engine("known_k_full", equidistant_placement(12, 3))
+        engine.run()
+        report = require_uniform_deployment(engine, require_halted=True)
+        assert report.ok
+
+    def test_halted_requirement_detects_suspended(self):
+        engine = build_engine("unknown", Placement(ring_size=9, homes=(0, 4, 6)))
+        engine.run()
+        report = require_uniform_deployment(engine, require_suspended=True)
+        assert report.ok
+        with pytest.raises(VerificationError):
+            require_uniform_deployment(engine, require_halted=True)
