@@ -12,6 +12,7 @@ import math
 
 from repro.analysis.complexity import loglog_slope
 from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import SweepSpec, run_sweep
 from repro.ring.placement import random_placement
 
 from benchmarks.conftest import report
@@ -26,63 +27,65 @@ FIXED_N = 256
 
 
 def _run_sweep(pairs, seed=1):
-    rng = random.Random(seed)
-    return [run_experiment(ALGO, random_placement(n, k, rng)) for n, k in pairs]
+    # Through the sweep runner: deterministic per-cell seeds, and the
+    # same grid can be re-run in parallel from the CLI (`repro psweep`).
+    spec = SweepSpec(
+        algorithms=(ALGO,), grid=tuple(pairs), base_seed=seed
+    )
+    return run_sweep(spec, processes=1)
 
 
 def test_result1_time_scales_linearly_in_n(benchmark):
-    results = benchmark.pedantic(
+    rows = benchmark.pedantic(
         _run_sweep, args=([(n, FIXED_K) for n in N_SWEEP],), rounds=1, iterations=1
     )
-    times = [r.ideal_time for r in results]
+    times = [row["ideal_time"] for row in rows]
     slope = loglog_slope(N_SWEEP, times)
-    rows = [
+    table = [
         {
-            "n": r.placement.ring_size,
+            "n": row["n"],
             "k": FIXED_K,
-            "ideal_time": r.ideal_time,
-            "time/n": round(r.ideal_time / r.placement.ring_size, 2),
-            "total_moves": r.total_moves,
-            "uniform": r.ok,
+            "ideal_time": row["ideal_time"],
+            "time/n": round(row["ideal_time"] / row["n"], 2),
+            "total_moves": row["total_moves"],
+            "uniform": row["uniform"],
         }
-        for r in results
+        for row in rows
     ]
     report(
         "E1 Result 1 (Alg. 1) - time vs n  [paper: O(n)]",
-        rows,
+        table,
         notes=f"log-log slope = {slope:.2f} (expect ~1.0)",
     )
-    assert all(r.ok for r in results)
+    assert all(row["uniform"] for row in rows)
     assert 0.7 <= slope <= 1.3
-    assert all(r.ideal_time <= 3 * r.placement.ring_size + 5 for r in results)
+    assert all(row["ideal_time"] <= 3 * row["n"] + 5 for row in rows)
 
 
 def test_result1_moves_scale_linearly_in_k(benchmark):
-    results = benchmark.pedantic(
+    rows = benchmark.pedantic(
         _run_sweep, args=([(FIXED_N, k) for k in K_SWEEP],), rounds=1, iterations=1
     )
-    moves = [r.total_moves for r in results]
+    moves = [row["total_moves"] for row in rows]
     slope = loglog_slope(K_SWEEP, moves)
-    rows = [
+    table = [
         {
             "n": FIXED_N,
-            "k": r.placement.agent_count,
-            "total_moves": r.total_moves,
-            "moves/kn": round(r.total_moves / (r.placement.agent_count * FIXED_N), 2),
-            "uniform": r.ok,
+            "k": row["k"],
+            "total_moves": row["total_moves"],
+            "moves/kn": round(row["total_moves"] / (row["k"] * FIXED_N), 2),
+            "uniform": row["uniform"],
         }
-        for r in results
+        for row in rows
     ]
     report(
         "E1 Result 1 (Alg. 1) - moves vs k  [paper: O(kn)]",
-        rows,
+        table,
         notes=f"log-log slope = {slope:.2f} (expect ~1.0)",
     )
-    assert all(r.ok for r in results)
+    assert all(row["uniform"] for row in rows)
     assert 0.7 <= slope <= 1.3
-    assert all(
-        r.total_moves <= 3 * r.placement.agent_count * FIXED_N for r in results
-    )
+    assert all(row["total_moves"] <= 3 * row["k"] * FIXED_N for row in rows)
 
 
 def test_result1_memory_scales_linearly_in_k(benchmark):

@@ -4,4 +4,8 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# Guarded so multiprocessing's spawn start method can re-import this
+# module in worker processes (as "__mp_main__") without re-running the
+# CLI recursively.
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@ Commands:
 * ``list``          — registered algorithms and their Table 1 rows,
 * ``run``           — one experiment on a random or explicit placement,
 * ``sweep``         — Table 1 style (n, k) grids with log-log slopes,
+* ``psweep``        — full (algorithm, n, k, scheduler, trial) grids
+  fanned across a process pool with deterministic per-cell seeds,
 * ``symmetry``      — Result 4 adaptivity sweep over symmetry degrees,
 * ``impossibility`` — the Theorem 5 / Figure 7 construction,
 * ``lower-bound``   — Theorem 1 quarter-packed comparison vs optimum,
@@ -30,13 +32,7 @@ from repro.experiments.lower_bound import quarter_sweep
 from repro.experiments.runner import ALGORITHMS, run_experiment
 from repro.experiments.table1 import format_rows, symmetry_sweep, table1_sweep
 from repro.ring.placement import placement_from_distances, random_placement
-from repro.sim.scheduler import (
-    BurstScheduler,
-    LaggardScheduler,
-    RandomScheduler,
-    Scheduler,
-    SynchronousScheduler,
-)
+from repro.sim.scheduler import Scheduler
 
 __all__ = ["main", "build_parser"]
 
@@ -70,15 +66,13 @@ def _parse_ints(text: str) -> List[int]:
 
 
 def _scheduler(name: str, seed: int) -> Scheduler:
-    if name == "sync":
-        return SynchronousScheduler()
-    if name == "random":
-        return RandomScheduler(seed=seed)
-    if name == "laggard":
-        return LaggardScheduler([0], patience=100, seed=seed)
-    if name == "burst":
-        return BurstScheduler(burst=40, seed=seed)
-    raise argparse.ArgumentTypeError(f"unknown scheduler {name!r}")
+    # Single registry shared with the sweep runner, so `repro run` and
+    # `repro psweep` always accept the same specs with the same params.
+    from repro.experiments.sweep import SCHEDULER_SPECS, make_scheduler
+
+    if name not in SCHEDULER_SPECS:
+        raise argparse.ArgumentTypeError(f"unknown scheduler {name!r}")
+    return make_scheduler(name, seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,7 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit distance sequence (overrides --n/--k/--seed)",
     )
     run_parser.add_argument(
-        "--scheduler", default="sync", choices=["sync", "random", "laggard", "burst"]
+        "--scheduler",
+        default="sync",
+        choices=["sync", "random", "laggard", "burst", "chaos"],
     )
     run_parser.add_argument("--scheduler-seed", type=int, default=0)
     run_parser.add_argument(
@@ -121,6 +117,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--trials", type=int, default=1)
     sweep_parser.add_argument("--seed", type=int, default=0)
+
+    psweep_parser = commands.add_parser(
+        "psweep", help="parallel sweep over a full experiment grid"
+    )
+    psweep_parser.add_argument(
+        "--algorithms",
+        default="known_k_full",
+        help="comma-separated algorithm names (see `repro list`)",
+    )
+    psweep_parser.add_argument(
+        "--grid", type=_parse_grid, default=[(64, 8), (128, 16), (256, 16)],
+        help="comma-separated NxK pairs, e.g. 64x8,128x16",
+    )
+    psweep_parser.add_argument(
+        "--schedulers", default="sync",
+        help="comma-separated scheduler specs: sync,random,laggard,burst,chaos",
+    )
+    psweep_parser.add_argument("--trials", type=int, default=1)
+    psweep_parser.add_argument("--seed", type=int, default=0, help="base seed")
+    psweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count; 1 disables the pool)",
+    )
+    psweep_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full row set as JSON for trajectory tracking",
+    )
+    psweep_parser.add_argument(
+        "--summary", action="store_true",
+        help="print the per-(algorithm,n,k,scheduler) aggregate instead of raw rows",
+    )
 
     symmetry_parser = commands.add_parser(
         "symmetry", help="Result 4 adaptivity sweep over symmetry degrees"
@@ -245,6 +272,37 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _command_psweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import (
+        SweepSpec,
+        rows_to_json,
+        run_sweep,
+        summarize_rows,
+    )
+
+    spec = SweepSpec(
+        algorithms=tuple(
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        ),
+        grid=tuple(args.grid),
+        schedulers=tuple(
+            name.strip() for name in args.schedulers.split(",") if name.strip()
+        ),
+        trials=args.trials,
+        base_seed=args.seed,
+    )
+    rows = run_sweep(spec, processes=args.jobs)
+    print(f"{len(rows)} cells "
+          f"({len(spec.algorithms)} algorithms x {len(spec.grid)} sizes x "
+          f"{len(spec.schedulers)} schedulers x {spec.trials} trials)")
+    print(format_rows(summarize_rows(rows) if args.summary else rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_json(spec, rows) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if all(row["uniform"] for row in rows) else 1
+
+
 def _command_symmetry(args: argparse.Namespace) -> int:
     results = symmetry_sweep(
         args.n, args.k, args.degrees, algorithm=args.algorithm, seed=args.seed
@@ -349,6 +407,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "psweep":
+            return _command_psweep(args)
         if args.command == "symmetry":
             return _command_symmetry(args)
         if args.command == "impossibility":

@@ -32,6 +32,17 @@ from repro.experiments.statistics import (
     TrialAggregate,
     aggregate_trials,
 )
+from repro.experiments.sweep import (
+    SCHEDULER_SPECS,
+    SweepCell,
+    SweepSpec,
+    cell_seed,
+    expand_cells,
+    run_cell,
+    run_sweep,
+    rows_to_json,
+    summarize_rows,
+)
 from repro.experiments.table1 import (
     format_rows,
     symmetry_placement,
@@ -71,4 +82,13 @@ __all__ = [
     "symmetry_placement",
     "symmetry_sweep",
     "table1_sweep",
+    "SCHEDULER_SPECS",
+    "SweepCell",
+    "SweepSpec",
+    "cell_seed",
+    "expand_cells",
+    "run_cell",
+    "run_sweep",
+    "rows_to_json",
+    "summarize_rows",
 ]

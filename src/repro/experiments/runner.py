@@ -110,8 +110,16 @@ def build_engine(
     trace: Optional[TraceRecorder] = None,
     memory_audit_interval: int = 16,
     max_steps: Optional[int] = None,
+    collect_metrics: bool = True,
+    validate_enabledness: bool = False,
 ) -> Engine:
-    """Build an engine wired with fresh agents for ``algorithm``."""
+    """Build an engine wired with fresh agents for ``algorithm``.
+
+    ``collect_metrics=False`` makes the run a pure-throughput measurement
+    (the metrics object stays empty); ``validate_enabledness=True`` runs
+    the O(k) enabled-set oracle after every batch as a differential
+    check against the incremental set.
+    """
     agents = build_agents(algorithm, placement.agent_count, placement.ring_size)
     return Engine(
         placement=placement,
@@ -120,6 +128,8 @@ def build_engine(
         trace=trace,
         memory_audit_interval=memory_audit_interval,
         max_steps=max_steps,
+        collect_metrics=collect_metrics,
+        validate_enabledness=validate_enabledness,
     )
 
 
@@ -130,6 +140,7 @@ def run_experiment(
     trace: Optional[TraceRecorder] = None,
     memory_audit_interval: int = 16,
     max_steps: Optional[int] = None,
+    validate_enabledness: bool = False,
 ) -> RunResult:
     """Run ``algorithm`` on ``placement`` to quiescence and verify it."""
     scheduler = scheduler or SynchronousScheduler()
@@ -140,6 +151,7 @@ def run_experiment(
         trace=trace,
         memory_audit_interval=memory_audit_interval,
         max_steps=max_steps,
+        validate_enabledness=validate_enabledness,
     )
     metrics = engine.run()
     _, halts, _ = ALGORITHMS[algorithm]

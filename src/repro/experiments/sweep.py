@@ -1,0 +1,267 @@
+"""Parallel sweep runner: fan experiment grids across a process pool.
+
+The paper's tables and figures are sweeps over thousands of
+``(algorithm, n, k, scheduler, seed)`` cells.  Each cell is an
+independent simulation, so the sweep is embarrassingly parallel; this
+module provides the deterministic plumbing:
+
+* :class:`SweepSpec` — the grid description (algorithms x (n, k) pairs
+  x schedulers x trials),
+* :func:`expand_cells` — the spec flattened into :class:`SweepCell`\\ s
+  in a fixed canonical order,
+* :func:`cell_seed` — a stable per-cell seed derived by hashing the
+  cell coordinates, so cell results never depend on sweep order,
+  worker count, or which process ran them,
+* :func:`run_cell` — one cell to one flat result row (picklable both
+  ways, so it can cross a process boundary),
+* :func:`run_sweep` — the driver: a ``multiprocessing`` pool when
+  ``processes > 1``, a plain loop otherwise, identical rows either way.
+
+Determinism contract: ``run_sweep(spec, processes=1)`` and
+``run_sweep(spec, processes=32)`` return byte-identical row lists.
+This is what lets later PRs track benchmark trajectories cell by cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ALGORITHMS, RunResult, run_experiment
+from repro.ring.placement import random_placement
+from repro.sim.scheduler import (
+    BurstScheduler,
+    ChaosScheduler,
+    LaggardScheduler,
+    RandomScheduler,
+    Scheduler,
+    SynchronousScheduler,
+)
+
+__all__ = [
+    "SCHEDULER_SPECS",
+    "SweepCell",
+    "SweepSpec",
+    "cell_seed",
+    "expand_cells",
+    "make_scheduler",
+    "run_cell",
+    "run_sweep",
+    "rows_to_json",
+    "summarize_rows",
+]
+
+#: Scheduler spec name -> factory taking the cell seed.  The laggard
+#: adversary starves agent 0; the burst/chaos parameters match the CLI.
+SCHEDULER_SPECS: Dict[str, object] = {
+    "sync": lambda seed: SynchronousScheduler(),
+    "random": lambda seed: RandomScheduler(seed=seed),
+    "laggard": lambda seed: LaggardScheduler([0], patience=100, seed=seed),
+    "burst": lambda seed: BurstScheduler(burst=40, seed=seed),
+    "chaos": lambda seed: ChaosScheduler(epoch=30, seed=seed),
+}
+
+
+def make_scheduler(spec_name: str, seed: int) -> Scheduler:
+    """Instantiate the scheduler for a sweep cell."""
+    try:
+        factory = SCHEDULER_SPECS[spec_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheduler spec {spec_name!r}; "
+            f"choose from {sorted(SCHEDULER_SPECS)}"
+        ) from None
+    return factory(seed)
+
+
+def cell_seed(
+    base_seed: int,
+    algorithm: str,
+    ring_size: int,
+    agent_count: int,
+    scheduler: str,
+    trial: int,
+) -> int:
+    """Derive a stable 63-bit seed from the cell coordinates.
+
+    SHA-256 of the coordinate string, not Python's ``hash`` — the value
+    must be identical across processes, interpreter runs and platforms.
+    """
+    key = f"{base_seed}|{algorithm}|{ring_size}x{agent_count}|{scheduler}|{trial}"
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent simulation in a sweep (picklable)."""
+
+    algorithm: str
+    ring_size: int
+    agent_count: int
+    scheduler: str
+    trial: int
+    seed: int
+    max_steps: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full sweep grid: the cross product of every axis."""
+
+    algorithms: Tuple[str, ...]
+    grid: Tuple[Tuple[int, int], ...]
+    schedulers: Tuple[str, ...] = ("sync",)
+    trials: int = 1
+    base_seed: int = 0
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for algorithm in self.algorithms:
+            if algorithm not in ALGORITHMS:
+                raise ConfigurationError(
+                    f"unknown algorithm {algorithm!r}; "
+                    f"choose from {sorted(ALGORITHMS)}"
+                )
+        for scheduler in self.schedulers:
+            if scheduler not in SCHEDULER_SPECS:
+                raise ConfigurationError(
+                    f"unknown scheduler spec {scheduler!r}; "
+                    f"choose from {sorted(SCHEDULER_SPECS)}"
+                )
+        if self.trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+
+
+def expand_cells(spec: SweepSpec) -> List[SweepCell]:
+    """Flatten the spec into cells in canonical (stable) order."""
+    cells = []
+    for algorithm in spec.algorithms:
+        for ring_size, agent_count in spec.grid:
+            for scheduler in spec.schedulers:
+                for trial in range(spec.trials):
+                    cells.append(
+                        SweepCell(
+                            algorithm=algorithm,
+                            ring_size=ring_size,
+                            agent_count=agent_count,
+                            scheduler=scheduler,
+                            trial=trial,
+                            seed=cell_seed(
+                                spec.base_seed,
+                                algorithm,
+                                ring_size,
+                                agent_count,
+                                scheduler,
+                                trial,
+                            ),
+                            max_steps=spec.max_steps,
+                        )
+                    )
+    return cells
+
+
+def _result_for_cell(cell: SweepCell) -> RunResult:
+    placement = random_placement(
+        cell.ring_size, cell.agent_count, random.Random(cell.seed)
+    )
+    # Decorrelate the schedule from the placement without a second hash.
+    scheduler = make_scheduler(cell.scheduler, cell.seed ^ 0x5DEECE66D)
+    return run_experiment(
+        cell.algorithm, placement, scheduler=scheduler, max_steps=cell.max_steps
+    )
+
+
+def run_cell(cell: SweepCell) -> Dict[str, object]:
+    """Run one cell to quiescence and return its flat result row.
+
+    Top-level function returning plain dicts so ``Pool.map`` can ship
+    cells out and rows back across process boundaries.
+    """
+    result = _result_for_cell(cell)
+    row = result.row()
+    row["scheduler"] = cell.scheduler  # spec name, not describe() text
+    row["trial"] = cell.trial
+    row["seed"] = cell.seed
+    return row
+
+
+def run_sweep(
+    spec: SweepSpec, processes: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """Run every cell of ``spec``; return rows in canonical cell order.
+
+    ``processes`` defaults to the machine's CPU count, capped at the
+    number of cells.  With one process (or one cell) the pool is skipped
+    entirely.  ``Pool.map`` preserves input order, so the returned rows
+    are identical regardless of parallelism.
+    """
+    cells = expand_cells(spec)
+    if not cells:
+        return []
+    if processes is None:
+        processes = multiprocessing.cpu_count()
+    processes = max(1, min(processes, len(cells)))
+    if processes == 1:
+        return [run_cell(cell) for cell in cells]
+    chunksize = max(1, len(cells) // (processes * 4))
+    with multiprocessing.Pool(processes) as pool:
+        return pool.map(run_cell, cells, chunksize=chunksize)
+
+
+def summarize_rows(
+    rows: Sequence[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Aggregate trial rows per (algorithm, n, k, scheduler) group.
+
+    Means are reported for moves/time, maxima for memory (a high-water
+    measure), and ``uniform`` is the conjunction over trials.
+    """
+    groups: Dict[Tuple[object, ...], List[Dict[str, object]]] = {}
+    for row in rows:
+        key = (row["algorithm"], row["n"], row["k"], row["scheduler"])
+        groups.setdefault(key, []).append(row)
+    summary = []
+    for (algorithm, n, k, scheduler), members in groups.items():
+        trials = len(members)
+        mean_moves = sum(int(m["total_moves"]) for m in members) / trials
+        times = [m["ideal_time"] for m in members if m["ideal_time"] is not None]
+        summary.append(
+            {
+                "algorithm": algorithm,
+                "n": n,
+                "k": k,
+                "scheduler": scheduler,
+                "trials": trials,
+                "mean_moves": round(mean_moves, 1),
+                "mean_ideal_time": (
+                    round(sum(times) / len(times), 1) if times else None
+                ),
+                "max_memory_bits": max(int(m["max_memory_bits"]) for m in members),
+                "uniform": all(bool(m["uniform"]) for m in members),
+            }
+        )
+    return summary
+
+
+def rows_to_json(
+    spec: SweepSpec, rows: Sequence[Dict[str, object]], indent: int = 2
+) -> str:
+    """Serialise a sweep (spec + rows) for trajectory tracking."""
+    payload = {
+        "spec": {
+            "algorithms": list(spec.algorithms),
+            "grid": [list(pair) for pair in spec.grid],
+            "schedulers": list(spec.schedulers),
+            "trials": spec.trials,
+            "base_seed": spec.base_seed,
+            "max_steps": spec.max_steps,
+        },
+        "rows": list(rows),
+    }
+    return json.dumps(payload, indent=indent)

@@ -20,11 +20,35 @@ into a :class:`repro.sim.actions.NodeView`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterator, List, Set, Tuple
+from typing import Deque, Dict, Iterator, List, NamedTuple, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 
-__all__ = ["Ring"]
+__all__ = ["Ring", "RingFastState"]
+
+
+class RingFastState(NamedTuple):
+    """Direct references to a ring's mutable structures (engine fast path).
+
+    The simulation engine activates agents millions of times per sweep;
+    going through the validating :class:`Ring` methods on every atomic
+    action costs several attribute lookups and function calls per step.
+    :meth:`Ring.fast_state` hands the engine the four underlying
+    structures so the hot loop can mutate them directly.
+
+    The contract: a holder that mutates these MUST keep ``locations`` in
+    sync with ``staying``/``queues`` using the same encoding as the ring
+    (staying at node ``i`` -> code ``i``; queued toward node ``i`` ->
+    code ``-(i + 1)``), and must itself enforce the FIFO/no-overtake
+    invariants that the public methods check.  Everything read through
+    the public :class:`Ring` API (snapshots, analysis, verification)
+    stays consistent as long as that contract holds.
+    """
+
+    tokens: List[int]
+    staying: List[Set[int]]
+    queues: List[Deque[int]]
+    locations: Dict[int, int]
 
 
 class Ring:
@@ -39,6 +63,11 @@ class Ring:
       rely on),
     * an agent *stays* at exactly one node or sits in exactly one link
       queue, never both.
+
+    Agent locations are stored as a single int code per agent (staying
+    at node ``i`` -> ``i``; queued toward node ``i`` -> ``-(i + 1)``)
+    so the hot path never allocates location tuples; :meth:`locate`
+    decodes on demand for the human-facing API.
     """
 
     def __init__(self, size: int) -> None:
@@ -50,7 +79,8 @@ class Ring:
         # _queues[i] holds agents in transit toward node i (the paper's
         # q_i, the queue of link (v_{i-1}, v_i)), head at index 0.
         self._queues: List[Deque[int]] = [deque() for _ in range(size)]
-        self._agent_location: Dict[int, Tuple[str, int]] = {}
+        # agent id -> int location code (see class docstring).
+        self._locations: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Structure
@@ -98,7 +128,7 @@ class Ring:
         """
         self._assert_absent(agent_id)
         self._queues[node].append(agent_id)
-        self._agent_location[agent_id] = ("queue", node)
+        self._locations[agent_id] = -(node + 1)
 
     def queue_head(self, node: int) -> int:
         """Return the agent at the head of the queue entering ``node``."""
@@ -119,20 +149,20 @@ class Ring:
                 f"agent {agent_id} is not at the head of the queue into node {node}"
             )
         queue.popleft()
-        del self._agent_location[agent_id]
+        del self._locations[agent_id]
 
     def settle(self, agent_id: int, node: int) -> None:
         """Record that ``agent_id`` is now *staying* at ``node`` (in ``p_node``)."""
         self._assert_absent(agent_id)
         self._staying[node].add(agent_id)
-        self._agent_location[agent_id] = ("node", node)
+        self._locations[agent_id] = node
 
     def depart(self, agent_id: int, node: int) -> None:
         """Remove a staying ``agent_id`` from ``node`` (about to move)."""
         if agent_id not in self._staying[node]:
             raise SimulationError(f"agent {agent_id} is not staying at node {node}")
         self._staying[node].remove(agent_id)
-        del self._agent_location[agent_id]
+        del self._locations[agent_id]
 
     def staying_at(self, node: int) -> Set[int]:
         """Return a copy of the set of agents staying at ``node``."""
@@ -145,9 +175,12 @@ class Ring:
     def locate(self, agent_id: int) -> Tuple[str, int]:
         """Return ``("node", i)`` or ``("queue", i)`` for ``agent_id``."""
         try:
-            return self._agent_location[agent_id]
+            code = self._locations[agent_id]
         except KeyError:
             raise SimulationError(f"agent {agent_id} is not on the ring") from None
+        if code < 0:
+            return ("queue", -code - 1)
+        return ("node", code)
 
     def occupied_nodes(self) -> List[int]:
         """Return the sorted list of nodes with at least one staying agent."""
@@ -163,12 +196,29 @@ class Ring:
             yield from queue
 
     # ------------------------------------------------------------------
+    # Engine fast path
+    # ------------------------------------------------------------------
+
+    def fast_state(self) -> RingFastState:
+        """Hand out direct references to the mutable structures.
+
+        See :class:`RingFastState` for the synchronisation contract the
+        holder takes on.  Intended for the simulation engine's hot loop
+        only; everything else should use the validating methods above.
+        """
+        return RingFastState(
+            tokens=self._tokens,
+            staying=self._staying,
+            queues=self._queues,
+            locations=self._locations,
+        )
+
+    # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
 
     def _assert_absent(self, agent_id: int) -> None:
-        if agent_id in self._agent_location:
-            where = self._agent_location[agent_id]
+        if agent_id in self._locations:
             raise SimulationError(
-                f"agent {agent_id} is already on the ring at {where}"
+                f"agent {agent_id} is already on the ring at {self.locate(agent_id)}"
             )

@@ -101,7 +101,10 @@ class Agent:
             elif isinstance(value, bool):
                 total += 1
             elif isinstance(value, int):
-                total += _bits_for_value(abs(value))
+                # Inline _bits_for_value: this audit runs every few steps
+                # for every agent, and abs()+call overhead adds up.
+                bits = (value + 1 if value >= 0 else 1 - value).bit_length()
+                total += bits if bits > 1 else 1
             else:
                 raise SimulationError(
                     f"declared scalar {name!r} has non-integer value {value!r}"
@@ -112,12 +115,13 @@ class Agent:
                 total += 1
                 continue
             items: Iterable[int] = value
-            width = 1
-            length = 0
-            for item in items:
-                width = max(width, _bits_for_value(abs(int(item))))
-                length += 1
-            total += max(1, length) * width
+            if not hasattr(items, "__len__"):
+                items = tuple(items)
+            # max(map(abs, ...)) runs at C speed; sequences like the
+            # distance sequence D have k entries and dominate the audit.
+            largest = max(map(abs, map(int, items)), default=0)
+            width = max(1, (largest + 1).bit_length())
+            total += max(1, len(items)) * width
         return total
 
     # ------------------------------------------------------------------

@@ -99,6 +99,15 @@ class LaggardScheduler(Scheduler):
     budget resets.  This models the adversary used in the paper's
     asynchrony arguments: an agent may be arbitrarily slow, but not
     forever.
+
+    The budget resets only when a laggard actually runs.  If the budget
+    runs out while no laggard is enabled, the owed laggard turn stays
+    outstanding (the budget is *not* silently refilled): eager agents
+    keep the system progressing, and the moment a laggard becomes
+    enabled it runs immediately instead of waiting out a fresh
+    starvation window.  Without this, a laggard that is rarely enabled
+    could be starved for up to ``2 * patience`` steps per cycle while
+    the progress accounting claimed ``patience``.
     """
 
     def __init__(
@@ -114,9 +123,14 @@ class LaggardScheduler(Scheduler):
         if eager and self._budget > 0:
             self._budget -= 1
             return [self._rng.choice(eager)]
-        self._budget = self._patience
         lagging = [agent for agent in enabled if agent in self._laggards]
-        return [self._rng.choice(lagging or list(enabled))]
+        if lagging:
+            self._budget = self._patience
+            return [self._rng.choice(lagging)]
+        # Budget exhausted but no laggard is enabled: keep the laggard
+        # turn owed (budget stays empty) and let an eager agent run so
+        # the execution still makes progress.
+        return [self._rng.choice(eager)]
 
     def describe(self) -> str:
         return (

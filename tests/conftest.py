@@ -15,27 +15,10 @@ def rng() -> random.Random:
     return random.Random(0xC0FFEE)
 
 
-def brute_force_min_rotation_index(sequence) -> int:
-    """Reference implementation for Booth's algorithm tests."""
-    items = tuple(sequence)
-    if not items:
-        return 0
-    best = 0
-    for candidate in range(1, len(items)):
-        rotated = items[candidate:] + items[:candidate]
-        current = items[best:] + items[:best]
-        if rotated < current:
-            best = candidate
-    return best
-
-
-def brute_force_min_period(sequence) -> int:
-    """Reference implementation for minimal rotation period."""
-    items = tuple(sequence)
-    for period in range(1, len(items) + 1):
-        if len(items) % period == 0 and items[period:] + items[:period] == items:
-            return period
-    return len(items)
+from reference_impls import (  # noqa: F401  (re-exported for older tests)
+    brute_force_min_period,
+    brute_force_min_rotation_index,
+)
 
 
 def small_random_placement(rng: random.Random, max_n: int = 48) -> Placement:

@@ -1,0 +1,32 @@
+"""Brute-force reference implementations shared by property tests.
+
+Kept outside ``conftest.py`` because pytest inserts both ``tests/`` and
+``benchmarks/`` on ``sys.path`` and each has a ``conftest`` module — a
+plain ``from conftest import ...`` resolves to whichever directory was
+collected first.  A uniquely-named module has no such collision.
+"""
+
+from __future__ import annotations
+
+
+def brute_force_min_rotation_index(sequence) -> int:
+    """Reference implementation for Booth's algorithm tests."""
+    items = tuple(sequence)
+    if not items:
+        return 0
+    best = 0
+    for candidate in range(1, len(items)):
+        rotated = items[candidate:] + items[:candidate]
+        current = items[best:] + items[:best]
+        if rotated < current:
+            best = candidate
+    return best
+
+
+def brute_force_min_period(sequence) -> int:
+    """Reference implementation for minimal rotation period."""
+    items = tuple(sequence)
+    for period in range(1, len(items) + 1):
+        if len(items) % period == 0 and items[period:] + items[:period] == items:
+            return period
+    return len(items)

@@ -47,6 +47,34 @@ class TestSchedulers:
         scheduler = LaggardScheduler([0], patience=5, seed=1)
         assert scheduler.next_batch([0]) == [0]
 
+    def test_laggard_runs_laggard_mid_budget_when_alone(self):
+        # Fairness: only laggards enabled -> a laggard runs even while
+        # the starvation budget is unspent, and the budget resets.
+        scheduler = LaggardScheduler([0], patience=5, seed=1)
+        assert scheduler.next_batch([1, 2])[0] in (1, 2)  # budget 5 -> 4
+        assert scheduler.next_batch([0]) == [0]  # laggard alone: runs now
+        picks = [scheduler.next_batch([0, 1])[0] for _ in range(5)]
+        assert picks == [1] * 5  # full patience window restored
+
+    def test_laggard_turn_stays_owed_when_none_enabled(self):
+        # Exhausting the budget while no laggard is enabled must NOT
+        # silently refill it: the owed turn is honoured the moment a
+        # laggard shows up, bounding its starvation at `patience` steps.
+        scheduler = LaggardScheduler([0], patience=2, seed=1)
+        assert scheduler.next_batch([1, 2])[0] in (1, 2)  # budget 2 -> 1
+        assert scheduler.next_batch([1, 2])[0] in (1, 2)  # budget 1 -> 0
+        # Budget exhausted, laggard 0 not enabled: eager agents still run
+        # (progress), but the budget is not reset behind the scenes.
+        assert scheduler.next_batch([1, 2])[0] in (1, 2)
+        assert scheduler.next_batch([1, 2])[0] in (1, 2)
+        # The laggard becomes enabled: it must run immediately, not sit
+        # out another freshly-reset starvation window.
+        assert scheduler.next_batch([0, 1, 2]) == [0]
+        # Running the laggard is what resets the budget.
+        picks = [scheduler.next_batch([0, 1])[0] for _ in range(2)]
+        assert picks == [1, 1]
+        assert scheduler.next_batch([0, 1]) == [0]
+
     def test_burst_sticks_with_current_agent(self):
         scheduler = BurstScheduler(burst=4, seed=2)
         picks = [scheduler.next_batch([0, 1, 2])[0] for _ in range(4)]

@@ -23,7 +23,7 @@ from repro.analysis.sequences import (
 )
 from repro.errors import ConfigurationError
 
-from .conftest import brute_force_min_period, brute_force_min_rotation_index
+from reference_impls import brute_force_min_period, brute_force_min_rotation_index
 
 sequences = st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=24)
 positive_sequences = st.lists(
