@@ -25,10 +25,67 @@ from repro.errors import VerificationError
 __all__ = [
     "VerificationReport",
     "allowed_gaps",
+    "audit_configuration",
     "verify_positions",
     "verify_uniform_deployment",
     "require_uniform_deployment",
 ]
+
+
+def audit_configuration(
+    configuration: "repro.ring.configuration.Configuration",  # noqa: F821
+) -> List[str]:
+    """Structural integrity audit of one global snapshot.
+
+    Checks the model's conservation laws on the raw 5-tuple — the
+    properties every reachable configuration must satisfy regardless of
+    algorithm:
+
+    * every agent occupies exactly one place (one staying set or one
+      link queue, never two, never zero),
+    * token counters and inbox sizes are non-negative,
+    * ``inbox_sizes`` agrees with the full ``inboxes`` contents when the
+      snapshot carries them.
+
+    Returns a list of human-readable failure strings (empty when the
+    snapshot is structurally sound).  Used by the model checker as a
+    per-state safety property and by the stateful property tests.
+    """
+    failures: List[str] = []
+    seen: dict = {}
+    for node, agents in configuration.staying.items():
+        for agent_id in agents:
+            if agent_id in seen:
+                failures.append(
+                    f"agent {agent_id} at node {node} and {seen[agent_id]}"
+                )
+            seen[agent_id] = f"staying at {node}"
+    for node, queue in configuration.queues.items():
+        for agent_id in queue:
+            if agent_id in seen:
+                failures.append(
+                    f"agent {agent_id} queued toward {node} and {seen[agent_id]}"
+                )
+            seen[agent_id] = f"queued toward {node}"
+    missing = sorted(set(configuration.agent_states) - set(seen))
+    if missing:
+        failures.append(f"agents {missing} are nowhere on the ring")
+    unknown = sorted(set(seen) - set(configuration.agent_states))
+    if unknown:
+        failures.append(f"unknown agent ids {unknown} on the ring")
+    if any(tokens < 0 for tokens in configuration.tokens):
+        failures.append(f"negative token count in {configuration.tokens}")
+    if any(size < 0 for size in configuration.inbox_sizes.values()):
+        failures.append("negative inbox size")
+    if configuration.inboxes is not None:
+        for agent_id, inbox in configuration.inboxes.items():
+            declared = configuration.inbox_sizes.get(agent_id, 0)
+            if len(inbox) != declared:
+                failures.append(
+                    f"agent {agent_id}: inbox_sizes says {declared} but "
+                    f"{len(inbox)} messages recorded"
+                )
+    return failures
 
 
 @dataclass(frozen=True)

@@ -112,13 +112,16 @@ def build_engine(
     max_steps: Optional[int] = None,
     collect_metrics: bool = True,
     validate_enabledness: bool = False,
+    record_views: bool = False,
 ) -> Engine:
     """Build an engine wired with fresh agents for ``algorithm``.
 
     ``collect_metrics=False`` makes the run a pure-throughput measurement
     (the metrics object stays empty); ``validate_enabledness=True`` runs
     the O(k) enabled-set oracle after every batch as a differential
-    check against the incremental set.
+    check against the incremental set; ``record_views=True`` logs every
+    agent view so the engine supports copy-on-branch ``fork()`` (the
+    model checker needs this).
     """
     agents = build_agents(algorithm, placement.agent_count, placement.ring_size)
     return Engine(
@@ -130,6 +133,7 @@ def build_engine(
         max_steps=max_steps,
         collect_metrics=collect_metrics,
         validate_enabledness=validate_enabledness,
+        record_views=record_views,
     )
 
 

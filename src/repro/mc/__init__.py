@@ -1,0 +1,63 @@
+"""Interleaving model checker: exhaustive schedule-space verification.
+
+The paper's correctness claims quantify over *every* fair asynchronous
+schedule; the experiment suite samples adversarial schedulers, but a
+sample can miss activation-order-specific bugs.  This package closes
+that gap on small instances: :func:`check_interleavings` exhausts every
+enabled-agent choice from an initial configuration via DFS over forked
+engine states, memoising visited states on the rotation- and
+relabelling-canonical :class:`~repro.ring.configuration.Configuration`,
+checking safety properties on every edge and uniform deployment on
+every terminal state, and emitting any violating path as a replayable
+schedule.
+
+Entry points: :func:`check_interleavings` (one placement),
+:func:`exhaust_placements` (all placements of an ``(n, k)``),
+:func:`replay_counterexample` (deterministic reproduction), and the
+``repro mc`` CLI command.
+"""
+
+from repro.mc.checker import (
+    Counterexample,
+    MCResult,
+    all_placements,
+    check_interleavings,
+    exhaust_placements,
+    replay_counterexample,
+)
+from repro.mc.properties import (
+    EnabledSetConsistency,
+    FifoLinkIntegrity,
+    MemoryBound,
+    SafetyProperty,
+    StructuralIntegrity,
+    TerminalProperty,
+    TokenMonotonicity,
+    UniformTerminal,
+    default_memory_limit,
+    default_safety_properties,
+)
+from repro.mc.state import Frame, PreState, SearchStats, capture_pre_state
+
+__all__ = [
+    "Counterexample",
+    "MCResult",
+    "all_placements",
+    "check_interleavings",
+    "exhaust_placements",
+    "replay_counterexample",
+    "SafetyProperty",
+    "TerminalProperty",
+    "StructuralIntegrity",
+    "FifoLinkIntegrity",
+    "TokenMonotonicity",
+    "MemoryBound",
+    "EnabledSetConsistency",
+    "UniformTerminal",
+    "default_memory_limit",
+    "default_safety_properties",
+    "Frame",
+    "PreState",
+    "SearchStats",
+    "capture_pre_state",
+]

@@ -1,0 +1,413 @@
+"""Exhaustive interleaving exploration with replayable counterexamples.
+
+:func:`check_interleavings` performs a depth-first search over *every*
+enabled-agent choice from one initial configuration: at each reachable
+state it branches on each enabled agent, executing one atomic action per
+branch on a copy-on-branch engine fork.  Visited states are memoised on
+the canonical :class:`~repro.ring.configuration.Configuration` (states
+equal up to ring rotation and agent relabelling are explored once —
+sound, because the engine's transition relation is equivariant under
+both symmetries).  Safety properties run on every edge, terminal
+properties on every quiescent state, and a back-edge onto the current
+DFS path is reported as a livelock cycle.
+
+Because the search is exhaustive, a clean result at one size is a
+*proof* of the paper's claim at that size: no fair asynchronous schedule
+from that initial configuration can violate the property.  This is the
+leap stateless model checkers (CHESS, SPIN) make for concurrent code,
+applied to the paper's agent model.
+
+Every violation is emitted as a :class:`Counterexample` whose
+``schedule`` is the exact activation prefix from the initial state —
+feed it to :class:`repro.sim.scheduler.ReplayScheduler` (or
+:func:`replay_counterexample`) to reproduce the violation
+deterministically, event for event.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+from repro.mc.properties import (
+    SafetyProperty,
+    TerminalProperty,
+    UniformTerminal,
+    default_safety_properties,
+)
+from repro.mc.state import Frame, SearchStats, capture_pre_state
+from repro.ring.placement import Placement
+from repro.sim.agent import Agent
+from repro.sim.engine import Engine
+
+__all__ = [
+    "Counterexample",
+    "MCResult",
+    "check_interleavings",
+    "exhaust_placements",
+    "all_placements",
+    "replay_counterexample",
+]
+
+AgentsFactory = Callable[[], Sequence[Agent]]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A violating execution, pinned down to a replayable schedule.
+
+    ``schedule`` is the agent-activation prefix from the initial
+    configuration up to and including the violating action (for
+    ``terminal`` violations it runs all the way to quiescence).  The
+    kinds are ``safety`` (an edge property failed), ``terminal`` (a
+    quiescent state is not a uniform deployment) and ``cycle`` (the
+    search returned to a state on its own path — a livelock schedule).
+    """
+
+    algorithm: str
+    placement: Placement
+    schedule: Tuple[int, ...]
+    kind: str
+    property_name: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}:{self.property_name}] {self.message} | "
+            f"{self.placement.describe()} | schedule={list(self.schedule)}"
+        )
+
+    def replay_line(self) -> str:
+        """A one-line reproduction recipe for bug reports and tests."""
+        return (
+            f"ReplayScheduler({list(self.schedule)}) on "
+            f"Placement(ring_size={self.placement.ring_size}, "
+            f"homes={self.placement.homes}) with {self.algorithm!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MCResult:
+    """Outcome of one exhaustive check of one initial configuration."""
+
+    algorithm: str
+    placement: Placement
+    explored: int
+    transitions: int
+    deduped: int
+    terminals: int
+    max_depth: int
+    complete: bool
+    violations: Tuple[Counterexample, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when the schedule space was exhausted with no violation."""
+        return self.complete and not self.violations
+
+    def describe(self) -> str:
+        status = "EXHAUSTED" if self.complete else "TRUNCATED"
+        verdict = "ok" if not self.violations else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{status} {self.algorithm} {self.placement.describe()}: "
+            f"{self.explored} states, {self.transitions} transitions, "
+            f"{self.deduped} deduped, {self.terminals} terminal, "
+            f"max depth {self.max_depth} -> {verdict}"
+        )
+
+
+def _resolve_terminal(
+    algorithm: str,
+    require_halted: Optional[bool],
+    require_suspended: Optional[bool],
+) -> TerminalProperty:
+    if require_halted is None and require_suspended is None:
+        from repro.experiments.runner import ALGORITHMS
+
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r} and no explicit terminal "
+                f"requirements; pass require_halted/require_suspended"
+            )
+        _, halts, _ = ALGORITHMS[algorithm]
+        require_halted, require_suspended = halts, not halts
+    return UniformTerminal(
+        require_halted=bool(require_halted),
+        require_suspended=bool(require_suspended),
+    )
+
+
+def _cycle_message(depth: int) -> str:
+    """The livelock-cycle violation text (shared with the replay check)."""
+    return (
+        f"schedule returns to a state already on its own path "
+        f"after {depth} actions"
+    )
+
+
+def _make_engine(
+    algorithm: str, placement: Placement, factory: Optional[AgentsFactory]
+) -> Engine:
+    if factory is not None:
+        return Engine(
+            placement=placement,
+            agents=list(factory()),
+            collect_metrics=False,
+            record_views=True,
+        )
+    from repro.experiments.runner import build_engine
+
+    return build_engine(
+        algorithm, placement, collect_metrics=False, record_views=True
+    )
+
+
+def check_interleavings(
+    algorithm: str,
+    placement: Placement,
+    *,
+    factory: Optional[AgentsFactory] = None,
+    require_halted: Optional[bool] = None,
+    require_suspended: Optional[bool] = None,
+    safety: Optional[Sequence[SafetyProperty]] = None,
+    terminal: Optional[Sequence[TerminalProperty]] = None,
+    depth_limit: Optional[int] = None,
+    max_states: Optional[int] = None,
+    stop_at_first: bool = True,
+    progress: Optional[Callable[[SearchStats], None]] = None,
+    progress_every: int = 5000,
+) -> MCResult:
+    """Exhaust every fair interleaving from ``placement`` under ``algorithm``.
+
+    ``factory`` overrides agent construction (used to inject broken
+    variants); ``algorithm`` then only labels the result, and the
+    terminal requirement must be derivable (registered name) or given
+    explicitly via ``require_halted`` / ``require_suspended``.
+
+    ``depth_limit`` bounds the schedule prefix length and ``max_states``
+    the visited-state count; hitting either leaves ``complete=False``
+    (the result is then a bounded check, not a proof).  With
+    ``stop_at_first=False`` the search records every violation but never
+    explores past a violating state.
+    """
+    n, k = placement.ring_size, placement.agent_count
+    safety_props: Tuple[SafetyProperty, ...] = tuple(
+        default_safety_properties(n, k) if safety is None else safety
+    )
+    terminal_props: Tuple[TerminalProperty, ...] = (
+        (_resolve_terminal(algorithm, require_halted, require_suspended),)
+        if terminal is None
+        else tuple(terminal)
+    )
+
+    root = _make_engine(algorithm, placement, factory)
+    root_key = root.snapshot().canonical()
+    stats = SearchStats(explored=1)
+    visited = {root_key}
+    on_path = {root_key}
+    violations: List[Counterexample] = []
+    complete = True
+
+    def record(kind: str, name: str, message: str, schedule: Tuple[int, ...]) -> None:
+        violations.append(
+            Counterexample(
+                algorithm=algorithm,
+                placement=placement,
+                schedule=schedule,
+                kind=kind,
+                property_name=name,
+                message=message,
+            )
+        )
+
+    stack: List[Frame] = [
+        Frame(
+            engine=root,
+            key=root_key,
+            schedule=(),
+            choices=list(reversed(root.enabled_agents())),
+        )
+    ]
+
+    while stack:
+        frame = stack[-1]
+        if not frame.choices:
+            on_path.discard(frame.key)
+            stack.pop()
+            continue
+        agent_id = frame.choices.pop()
+        child = frame.take_engine()
+        pre = capture_pre_state(child)
+        child.step(agent_id)
+        schedule = frame.schedule + (agent_id,)
+        stats.transitions += 1
+        if len(schedule) > stats.max_depth:
+            stats.max_depth = len(schedule)
+        if progress is not None and stats.transitions % progress_every == 0:
+            progress(stats)
+
+        snapshot = child.snapshot()
+        broken = False
+        for prop in safety_props:
+            message = prop.check(pre, child, snapshot, agent_id)
+            if message is not None:
+                record("safety", prop.name, message, schedule)
+                broken = True
+                break
+        if broken:
+            if stop_at_first:
+                break
+            continue  # never explore past a violating state
+
+        key = snapshot.canonical()
+        if key in on_path:
+            record(
+                "cycle",
+                "livelock-cycle",
+                _cycle_message(len(schedule)),
+                schedule,
+            )
+            if stop_at_first:
+                break
+            continue
+        if key in visited:
+            stats.deduped += 1
+            continue
+        visited.add(key)
+        stats.explored += 1
+
+        if child.quiescent:
+            stats.terminals += 1
+            for prop in terminal_props:
+                message = prop.check(child, snapshot)
+                if message is not None:
+                    record("terminal", prop.name, message, schedule)
+                    broken = True
+                    break
+            if broken and stop_at_first:
+                break
+            continue
+        if depth_limit is not None and len(schedule) >= depth_limit:
+            stats.truncated += 1
+            complete = False
+            continue
+        if max_states is not None and stats.explored >= max_states:
+            complete = False
+            break
+
+        stack.append(
+            Frame(
+                engine=child,
+                key=key,
+                schedule=schedule,
+                choices=list(reversed(child.enabled_agents())),
+            )
+        )
+        on_path.add(key)
+
+    if stop_at_first and violations:
+        complete = False  # the search stopped early by design
+
+    return MCResult(
+        algorithm=algorithm,
+        placement=placement,
+        explored=stats.explored,
+        transitions=stats.transitions,
+        deduped=stats.deduped,
+        terminals=stats.terminals,
+        max_depth=stats.max_depth,
+        complete=complete,
+        violations=tuple(violations),
+    )
+
+
+def all_placements(ring_size: int, agent_count: int) -> Iterator[Placement]:
+    """Every initial configuration with one home fixed at node 0.
+
+    The ring is anonymous, so fixing one home at node 0 enumerates all
+    configurations up to rotation — the same canonicalisation the
+    exhaustive unit tests use.
+    """
+    for others in itertools.combinations(range(1, ring_size), agent_count - 1):
+        yield Placement(ring_size=ring_size, homes=(0,) + others)
+
+
+def exhaust_placements(
+    algorithm: str,
+    ring_size: int,
+    agent_count: int,
+    **kwargs,
+) -> List[MCResult]:
+    """Run :func:`check_interleavings` on every placement of ``(n, k)``."""
+    return [
+        check_interleavings(algorithm, placement, **kwargs)
+        for placement in all_placements(ring_size, agent_count)
+    ]
+
+
+def replay_counterexample(
+    counterexample: Counterexample,
+    *,
+    factory: Optional[AgentsFactory] = None,
+    require_halted: Optional[bool] = None,
+    require_suspended: Optional[bool] = None,
+    safety: Optional[Sequence[SafetyProperty]] = None,
+    terminal: Optional[Sequence[TerminalProperty]] = None,
+) -> Tuple[Engine, List[str]]:
+    """Re-drive a counterexample schedule and re-check its properties.
+
+    Rebuilds a fresh engine for the counterexample's algorithm and
+    placement, executes the recorded schedule step by step, and runs
+    the same property suite along the way.  Returns the final engine
+    and every violation message observed — a deterministic replay of
+    the original search's finding (the test suite asserts the original
+    message is reproduced verbatim).
+    """
+    placement = counterexample.placement
+    n, k = placement.ring_size, placement.agent_count
+    safety_props = tuple(
+        default_safety_properties(n, k) if safety is None else safety
+    )
+    engine = _make_engine(counterexample.algorithm, placement, factory)
+    messages: List[str] = []
+    path_keys = {engine.snapshot().canonical()}
+    for agent_id in counterexample.schedule:
+        pre = capture_pre_state(engine)
+        engine.step(agent_id)
+        snapshot = engine.snapshot()
+        for prop in safety_props:
+            message = prop.check(pre, engine, snapshot, agent_id)
+            if message is not None:
+                messages.append(message)
+        path_keys.add(snapshot.canonical())
+    if counterexample.kind == "cycle":
+        # A livelock schedule must land on a state it already visited:
+        # the set of distinct canonical states along the path is then
+        # strictly smaller than the number of path positions.
+        if len(path_keys) <= len(counterexample.schedule):
+            messages.append(_cycle_message(len(counterexample.schedule)))
+    if counterexample.kind == "terminal":
+        terminal_props: Tuple[TerminalProperty, ...] = (
+            (
+                _resolve_terminal(
+                    counterexample.algorithm, require_halted, require_suspended
+                ),
+            )
+            if terminal is None
+            else tuple(terminal)
+        )
+        snapshot = engine.snapshot()
+        for prop in terminal_props:
+            message = prop.check(engine, snapshot)
+            if message is not None:
+                messages.append(message)
+    return engine, messages

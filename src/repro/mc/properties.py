@@ -1,0 +1,210 @@
+"""Safety and terminal properties checked at every explored state.
+
+Two property shapes:
+
+* :class:`SafetyProperty` — checked on every *edge* of the state graph
+  (after every atomic action, at every depth).  Receives the
+  pre-transition :class:`~repro.mc.state.PreState`, the post-transition
+  engine + snapshot and the acting agent, and returns ``None`` (holds)
+  or a human-readable violation message.
+* :class:`TerminalProperty` — checked on every *quiescent* state the
+  search reaches.  Because the checker explores every enabled choice at
+  every state, the set of terminal states it visits is exactly the set
+  of outcomes of all maximal executions — so a terminal property is a
+  liveness claim over every fair schedule ("every maximal execution
+  ends uniformly deployed"), verified exhaustively at these sizes.
+
+The built-ins cover the paper's claims:
+
+* :class:`StructuralIntegrity` — conservation laws of the 5-tuple
+  (every agent in exactly one place, consistent inbox accounting),
+* :class:`FifoLinkIntegrity` — link queues change only by the actor
+  leaving a head and/or entering a tail (the no-overtaking property),
+* :class:`TokenMonotonicity` — token counters never decrease and at
+  most one token appears per action,
+* :class:`MemoryBound` — audited agent memory stays under an
+  O(k log n)-shaped ceiling (catches unbounded state growth),
+* :class:`UniformTerminal` — Definitions 1/2: every terminal state is
+  a uniform deployment with the right terminal agent states.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.verification import audit_configuration, verify_uniform_deployment
+from repro.errors import SimulationError
+from repro.mc.state import PreState
+from repro.ring.configuration import Configuration
+from repro.sim.engine import Engine
+
+__all__ = [
+    "SafetyProperty",
+    "TerminalProperty",
+    "StructuralIntegrity",
+    "FifoLinkIntegrity",
+    "TokenMonotonicity",
+    "MemoryBound",
+    "EnabledSetConsistency",
+    "UniformTerminal",
+    "default_memory_limit",
+    "default_safety_properties",
+]
+
+
+class SafetyProperty:
+    """Edge-level property: must hold after every atomic action."""
+
+    name = "safety"
+
+    def check(
+        self,
+        pre: PreState,
+        engine: Engine,
+        snapshot: Configuration,
+        acted: int,
+    ) -> Optional[str]:
+        """Return ``None`` when the property holds, else a description."""
+        raise NotImplementedError
+
+
+class TerminalProperty:
+    """State-level property checked at every quiescent state."""
+
+    name = "terminal"
+
+    def check(self, engine: Engine, snapshot: Configuration) -> Optional[str]:
+        raise NotImplementedError
+
+
+class StructuralIntegrity(SafetyProperty):
+    """Conservation laws of the configuration 5-tuple."""
+
+    name = "structural-integrity"
+
+    def check(self, pre, engine, snapshot, acted):
+        failures = audit_configuration(snapshot)
+        if failures:
+            return "; ".join(failures)
+        return None
+
+
+class FifoLinkIntegrity(SafetyProperty):
+    """Queues are strictly FIFO and only the actor touches them.
+
+    One atomic action of agent ``a`` may change the link queues in at
+    most two ways: ``a`` leaves the *head* of its arrival queue, and/or
+    ``a`` enters the *tail* of the destination queue.  Any other delta —
+    a reorder, a removal from the middle, a foreign agent appearing —
+    is an overtake or a corruption the model forbids.
+    """
+
+    name = "fifo-link-integrity"
+
+    def check(self, pre, engine, snapshot, acted):
+        ring = engine.ring
+        for node in range(ring.size):
+            before = pre.queues[node]
+            after = ring.queue_contents(node)
+            if after == before:
+                continue
+            popped = before[1:] if before and before[0] == acted else None
+            if after == popped:
+                continue  # the actor arrived from this queue's head
+            if after == before + (acted,):
+                continue  # the actor entered this queue's tail
+            if popped is not None and after == popped + (acted,):
+                continue  # n == 1: left the head and re-entered the tail
+            return (
+                f"queue into node {node} changed {before} -> {after} "
+                f"by agent {acted}: not a head-leave/tail-enter"
+            )
+        return None
+
+
+class TokenMonotonicity(SafetyProperty):
+    """Tokens are never removed; one action releases at most one."""
+
+    name = "token-monotonicity"
+
+    def check(self, pre, engine, snapshot, acted):
+        after = engine.ring.token_counts
+        if any(now < was for was, now in zip(pre.tokens, after)):
+            return f"token count decreased: {pre.tokens} -> {after}"
+        if sum(after) - sum(pre.tokens) > 1:
+            return f"more than one token released in one action: {pre.tokens} -> {after}"
+        return None
+
+
+class MemoryBound(SafetyProperty):
+    """The acting agent's audited memory stays under ``limit_bits``."""
+
+    name = "memory-bound"
+
+    def __init__(self, limit_bits: int) -> None:
+        self.limit_bits = limit_bits
+
+    def check(self, pre, engine, snapshot, acted):
+        bits = engine.agent(acted).memory_bits()
+        if bits > self.limit_bits:
+            return (
+                f"agent {acted} uses {bits} bits of state "
+                f"(limit {self.limit_bits})"
+            )
+        return None
+
+
+class EnabledSetConsistency(SafetyProperty):
+    """The incremental enabled set matches the O(k) recompute oracle."""
+
+    name = "enabled-set-consistency"
+
+    def check(self, pre, engine, snapshot, acted):
+        try:
+            engine.check_enabledness_invariant()
+        except SimulationError as error:
+            return str(error)
+        return None
+
+
+class UniformTerminal(TerminalProperty):
+    """Every quiescent state is a uniform deployment (Definitions 1/2)."""
+
+    name = "uniform-terminal"
+
+    def __init__(self, require_halted: bool, require_suspended: bool) -> None:
+        self.require_halted = require_halted
+        self.require_suspended = require_suspended
+
+    def check(self, engine, snapshot):
+        report = verify_uniform_deployment(
+            engine,
+            require_halted=self.require_halted,
+            require_suspended=self.require_suspended,
+        )
+        if not report:
+            return report.describe()
+        return None
+
+
+def default_memory_limit(ring_size: int, agent_count: int) -> int:
+    """A generous O(k log n)-shaped ceiling on audited agent memory.
+
+    Every algorithm in the paper is O(k log n) bits or better; 64 bits
+    per stored quantity leaves ample constant-factor slack while still
+    tripping on genuinely unbounded state growth within a few actions.
+    """
+    return 64 * (agent_count + 2) * (max(2, ring_size).bit_length() + 2)
+
+
+def default_safety_properties(
+    ring_size: int, agent_count: int
+) -> Tuple[SafetyProperty, ...]:
+    """The standard per-edge property suite for one instance size."""
+    return (
+        StructuralIntegrity(),
+        FifoLinkIntegrity(),
+        TokenMonotonicity(),
+        MemoryBound(default_memory_limit(ring_size, agent_count)),
+        EnabledSetConsistency(),
+    )

@@ -2,15 +2,33 @@
 
 The engine exposes a :class:`Configuration` snapshot after every atomic
 action (on request) and at quiescence.  Snapshots are immutable value
-objects used by the verifier, the trace recorder and the impossibility
+objects used by the verifier, the trace recorder, the impossibility
 experiment (which compares *local configurations* of corresponding nodes
-in two rings, Lemma 1).
+in two rings, Lemma 1) and the model checker (which memoises visited
+states on the snapshot's canonical form).
+
+Canonical form
+--------------
+
+Both the nodes and the agents of the model are anonymous: node indices
+and agent ids exist only for the simulator's bookkeeping, and every
+engine transition is equivariant under rotating the node labels and
+permuting the agent ids.  Two configurations related by such a
+relabelling are therefore bisimilar — they generate identical future
+behaviour.  :meth:`Configuration.canonical` quotients both symmetries
+out: it re-describes the state namelessly (per node: tokens, the sorted
+multiset of staying-agent payloads, the queue as a payload sequence,
+where a payload is the agent's started flag + state fingerprint + inbox
+contents) and picks the lexicographically least rotation.  Equality and
+hashing delegate to the canonical form, so a ``set`` or ``dict`` of
+configurations deduplicates the whole symmetry orbit — exactly what the
+model checker's visited-state memo needs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
 
 __all__ = ["Configuration", "LocalConfiguration"]
 
@@ -30,7 +48,7 @@ class LocalConfiguration:
     queued_states: Tuple[object, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Configuration:
     """An immutable snapshot of the full 5-tuple ``C = (S, T, M, P, Q)``.
 
@@ -40,6 +58,19 @@ class Configuration:
     ``staying`` maps node to the ids of staying agents in sorted order
     (``P``); ``queues`` maps node to the incoming link queue, head first
     (``Q``).
+
+    Two optional refinements make the snapshot an *exact* state key for
+    the model checker (engine snapshots always fill them):
+
+    * ``inboxes`` — full undelivered message contents per agent, oldest
+      first (``inbox_sizes`` is its lossy projection);
+    * ``started`` — whether each agent's protocol generator has run at
+      least once (a never-started agent is observably different from a
+      started agent whose declared state happens to look initial).
+
+    Equality and ``hash()`` compare canonical forms (see the module
+    docstring): configurations equal up to ring rotation and agent
+    relabelling compare equal, distinct states never do.
     """
 
     ring_size: int
@@ -48,6 +79,69 @@ class Configuration:
     inbox_sizes: Mapping[int, int]
     staying: Mapping[int, Tuple[int, ...]]
     queues: Mapping[int, Tuple[int, ...]]
+    inboxes: Optional[Mapping[int, Tuple[object, ...]]] = None
+    started: Optional[Mapping[int, bool]] = None
+    _canonical: Optional[Tuple[object, ...]] = field(
+        default=None, init=False, repr=False
+    )
+
+    # ------------------------------------------------------------------
+    # Canonical form, equality and hashing
+    # ------------------------------------------------------------------
+
+    def _agent_payload(self, agent_id: int) -> Tuple[object, ...]:
+        """The nameless description of one agent: flag + state + inbox."""
+        started = True if self.started is None else self.started.get(agent_id, True)
+        if self.inboxes is not None:
+            inbox: object = tuple(self.inboxes.get(agent_id, ()))
+        else:
+            inbox = self.inbox_sizes.get(agent_id, 0)
+        return (started, self.agent_states[agent_id], inbox)
+
+    def canonical(self) -> Tuple[object, ...]:
+        """Return the rotation- and relabelling-invariant state key.
+
+        The encoding lists, per node in ring order, ``(tokens, sorted
+        staying payloads, queued payloads head-first)`` and selects the
+        lexicographically least of the ``n`` rotations.  Payload tuples
+        mix ``None``/ints/strings, which Python refuses to order
+        directly, so rotations are compared through their ``repr`` — a
+        deterministic, injective encoding on the value types agents use
+        (ints, bools, strings, ``None``, tuples, frozen dataclasses).
+        The result is cached: snapshots are immutable.
+        """
+        if self._canonical is not None:
+            return self._canonical
+        payloads = {
+            agent_id: self._agent_payload(agent_id) for agent_id in self.agent_states
+        }
+        nodes = []
+        for node in range(self.ring_size):
+            staying = tuple(
+                sorted(
+                    (payloads[agent_id] for agent_id in self.staying.get(node, ())),
+                    key=repr,
+                )
+            )
+            queued = tuple(payloads[agent_id] for agent_id in self.queues.get(node, ()))
+            nodes.append((self.tokens[node], staying, queued))
+        node_reprs = [repr(entry) for entry in nodes]
+        size = self.ring_size
+        best = min(
+            range(size),
+            key=lambda r: tuple(node_reprs[r:] + node_reprs[:r]),
+        )
+        canonical = (size,) + tuple(nodes[best:] + nodes[:best])
+        object.__setattr__(self, "_canonical", canonical)
+        return canonical
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
 
     def local(self, node: int) -> LocalConfiguration:
         """Return the local configuration of ``node`` (Lemma 1's unit)."""

@@ -196,6 +196,24 @@ class Ring:
             yield from queue
 
     # ------------------------------------------------------------------
+    # Cloning (engine fork support)
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Ring":
+        """Return a deep copy of the passive ring state.
+
+        Agent ids are plain ints, so copying the four structures fully
+        detaches the clone: mutations on either ring never leak to the
+        other.  Used by :meth:`repro.sim.engine.Engine.fork`.
+        """
+        other = Ring(self._size)
+        other._tokens = list(self._tokens)
+        other._staying = [set(agents) for agents in self._staying]
+        other._queues = [deque(queue) for queue in self._queues]
+        other._locations = dict(self._locations)
+        return other
+
+    # ------------------------------------------------------------------
     # Engine fast path
     # ------------------------------------------------------------------
 

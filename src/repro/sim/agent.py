@@ -19,11 +19,29 @@ Two disciplines keep the simulation faithful:
 * **Agents never see node identities.**  The engine hands them node
   views only; home detection, circuit detection etc. must be done the
   way the paper does it (token counting, knowledge of k, ...).
+
+Forking
+-------
+
+Protocol generators cannot be copied, so a mid-run agent cannot be
+cloned structurally.  Instead the base class supports *replay forking*:
+with view recording enabled (:meth:`Agent.begin_view_recording`, done
+by the engine when built with ``record_views=True``), every
+:class:`NodeView` the agent consumes is logged, and :meth:`Agent.fork`
+rebuilds an equivalent agent by constructing a fresh instance (the
+constructor arguments are captured automatically) and re-feeding it the
+logged views.  Protocols are deterministic functions of their view
+sequence — the model has no agent-local randomness — so the fork lands
+in exactly the same state, generator control point included.  This is
+what makes the model checker's copy-on-branch :meth:`Engine.fork`
+possible.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, Optional, Tuple
+import functools
+
+from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import ProtocolViolation, SimulationError
 from repro.sim.actions import Action, NodeView
@@ -53,11 +71,34 @@ class Agent:
     """
 
     def __init__(self) -> None:
+        if not hasattr(self, "_ctor_args"):
+            # Reached only when no subclass __init__ ran first (plain
+            # Agent subclasses without their own constructor).
+            self._ctor_args = ((), {})
         self._generator: Optional[AgentProtocol] = None
         self._halted = False
         self._suspended = False
         self._declared_scalars: Dict[str, None] = {}
         self._declared_sequences: Dict[str, None] = {}
+        self._view_log: Optional[List[NodeView]] = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # Capture constructor arguments transparently so fork() can
+        # rebuild a fresh instance of any concrete agent.  Only the
+        # outermost __init__ records (set-once): a subclass chaining to
+        # super().__init__ must not overwrite the original call.
+        super().__init_subclass__(**kwargs)
+        if "__init__" not in cls.__dict__:
+            return
+        original = cls.__dict__["__init__"]
+
+        @functools.wraps(original)
+        def capturing_init(self, *args, **kw):
+            if not hasattr(self, "_ctor_args"):
+                self._ctor_args = (args, kw)
+            original(self, *args, **kw)
+
+        cls.__init__ = capturing_init
 
     # ------------------------------------------------------------------
     # Protocol body — subclasses override
@@ -138,10 +179,55 @@ class Agent:
         """True while the agent is in a suspended state (message-wakeable)."""
         return self._suspended
 
+    def begin_view_recording(self) -> None:
+        """Log every consumed view from now on, enabling :meth:`fork`.
+
+        Must be called before :meth:`start` — a fork replays the full
+        view history from the initial state, so a partial log cannot
+        reconstruct the agent.
+        """
+        if self._view_log is None:
+            if self._generator is not None:
+                raise SimulationError(
+                    "view recording must be enabled before the agent starts"
+                )
+            self._view_log = []
+
+    @property
+    def forkable(self) -> bool:
+        """True when the agent records views and can be forked."""
+        return self._view_log is not None
+
+    def fork(self) -> "Agent":
+        """Return an equivalent agent rebuilt by replaying logged views.
+
+        Requires view recording (see module docstring).  The clone is a
+        fresh instance of the same concrete class, constructed with the
+        captured constructor arguments and driven through the identical
+        view sequence, so its declared state, terminal flags and
+        generator control point all match the original's.
+        """
+        if self._view_log is None:
+            raise SimulationError(
+                "cannot fork an agent without view recording; build the "
+                "engine with record_views=True"
+            )
+        args, kwargs = self._ctor_args
+        fresh = type(self)(*args, **kwargs)
+        fresh.begin_view_recording()
+        views = self._view_log
+        if views:
+            fresh.start(views[0])
+            for view in views[1:]:
+                fresh.act(view)
+        return fresh
+
     def start(self, first_view: NodeView) -> Action:
         """Run the first atomic action (the agent starting at its home)."""
         if self._generator is not None:
             raise SimulationError("agent started twice")
+        if self._view_log is not None:
+            self._view_log.append(first_view)
         self._generator = self.protocol(first_view)
         try:
             action = next(self._generator)
@@ -157,6 +243,8 @@ class Agent:
             raise SimulationError("agent activated before start()")
         if self._halted:
             raise SimulationError("halted agent activated")
+        if self._view_log is not None:
+            self._view_log.append(view)
         self._suspended = False
         try:
             action = self._generator.send(view)

@@ -97,6 +97,7 @@ class Engine:
         memory_audit_interval: int = 16,
         collect_metrics: bool = True,
         validate_enabledness: bool = False,
+        record_views: bool = False,
     ) -> None:
         if len(agents) != placement.agent_count:
             raise ConfigurationError(
@@ -111,6 +112,10 @@ class Engine:
         self._started: Dict[int, bool] = {i: False for i in self._agents}
         self._scheduler = scheduler or SynchronousScheduler()
         self._trace = trace
+        self._record_views = record_views
+        if record_views:
+            for agent in self._agents.values():
+                agent.begin_view_recording()
         self._metrics = Metrics()
         self._collect_metrics = collect_metrics
         self._validate = validate_enabledness
@@ -259,8 +264,83 @@ class Engine:
             self._run_batch()
             yield self
 
+    def step(self, agent_id: int) -> None:
+        """Execute one atomic action of ``agent_id``, bypassing the scheduler.
+
+        This is the single-step driver the model checker and property
+        tests use to explore *chosen* interleavings: the caller picks any
+        currently enabled agent and the engine performs exactly one
+        atomic action.  Raises :class:`SimulationError` when the agent is
+        not enabled (disabled, halted, mid-queue, or unknown).
+        """
+        if agent_id not in self._enabled:
+            raise SimulationError(
+                f"agent {agent_id} is not enabled "
+                f"(enabled: {sorted(self._enabled)})"
+            )
+        self._activate(agent_id)
+        if self._validate:
+            self.check_enabledness_invariant()
+
+    def fork(self) -> "Engine":
+        """Return an independent copy of the full simulation state.
+
+        The copy-on-branch primitive of the model checker: the clone
+        owns deep copies of the ring, inboxes and enabled set, and each
+        agent is rebuilt by view replay (:meth:`repro.sim.agent.Agent.fork`),
+        so stepping the clone never disturbs the original.  Requires the
+        engine to have been built with ``record_views=True``.
+
+        The clone shares the (stateless from its point of view)
+        scheduler object but starts with fresh, empty metrics and no
+        trace recorder — forks exist for state-space exploration, not
+        accounting.  The activation log and step count carry over, so a
+        violating fork's :attr:`activation_log` is directly replayable.
+        """
+        if not self._record_views:
+            raise SimulationError(
+                "cannot fork an engine built without record_views=True"
+            )
+        clone = Engine.__new__(Engine)
+        clone._placement = self._placement
+        clone._ring = self._ring.clone()
+        clone._agents = {
+            agent_id: agent.fork() for agent_id, agent in self._agents.items()
+        }
+        clone._homes = dict(self._homes)
+        # Message payloads are immutable values; a shallow list copy
+        # fully detaches the inboxes.
+        clone._inboxes = {
+            agent_id: list(inbox) for agent_id, inbox in self._inboxes.items()
+        }
+        clone._started = dict(self._started)
+        clone._scheduler = self._scheduler
+        clone._trace = None
+        clone._record_views = True
+        clone._metrics = Metrics()
+        clone._collect_metrics = self._collect_metrics
+        clone._validate = self._validate
+        clone._steps = self._steps
+        clone._activation_log = list(self._activation_log)
+        clone._max_steps = self._max_steps
+        clone._audit_interval = self._audit_interval
+        fast = clone._ring.fast_state()
+        clone._tokens = fast.tokens
+        clone._staying = fast.staying
+        clone._queues = fast.queues
+        clone._locations = fast.locations
+        clone._size = self._size
+        clone._enabled = set(self._enabled)
+        return clone
+
     def snapshot(self) -> Configuration:
-        """Return the current global configuration ``C = (S, T, M, P, Q)``."""
+        """Return the current global configuration ``C = (S, T, M, P, Q)``.
+
+        The snapshot carries full message contents (``inboxes``) and the
+        per-agent started flags on top of the classic 5-tuple, so its
+        canonical form (see :meth:`Configuration.canonical`) identifies
+        the global state exactly — the model checker's memoisation key.
+        """
         return Configuration(
             ring_size=self._ring.size,
             agent_states={
@@ -279,6 +359,10 @@ class Engine:
                 node: self._ring.queue_contents(node)
                 for node in range(self._ring.size)
             },
+            inboxes={
+                agent_id: tuple(inbox) for agent_id, inbox in self._inboxes.items()
+            },
+            started=dict(self._started),
         )
 
     def final_positions(self) -> Dict[int, int]:

@@ -143,11 +143,30 @@ class ReplayScheduler(Scheduler):
     """Replay a recorded activation sequence exactly (deterministic debug).
 
     ``log`` is the agent-id sequence of a previous run (the engine's
-    ``activation_log``).  Replaying it against the same initial
-    configuration reproduces the execution event for event — the
-    foundation for bisecting schedule-dependent bugs.  When the log is
-    exhausted (or names a disabled agent) the scheduler falls back to
-    the lowest-id enabled agent so the run can still finish.
+    ``activation_log``) or a model-checker counterexample schedule.
+    Replaying it against the same initial configuration reproduces the
+    execution event for event — the foundation for bisecting
+    schedule-dependent bugs.
+
+    The contract, exactly:
+
+    * **Entries naming a currently-disabled (or unknown) agent are
+      skipped permanently** — the cursor advances past them and never
+      revisits them, so each log entry is consumed at most once.  A
+      faithful replay on the original initial configuration never skips
+      (a recorded entry was enabled when recorded); skips only occur
+      when the log is replayed against a different configuration or
+      algorithm.
+    * **An exhausted log falls back to the lowest-id enabled agent**,
+      one per batch, so the run can still quiesce.  This includes the
+      degenerate empty log, which falls back from the first batch.
+      :attr:`exhausted` reports whether the recorded entries have all
+      been consumed — check it after ``run()`` to distinguish "replayed
+      fully, then fell back" from "stopped mid-log".
+    * **The scheduler never raises and never returns an empty batch**:
+      the engine only calls it with a non-empty enabled sequence, and
+      every call returns exactly one agent (fair, since the fallback is
+      the engine's own enabled set).
     """
 
     def __init__(self, log: Sequence[int]) -> None:

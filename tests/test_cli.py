@@ -92,6 +92,33 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestMcCommand:
+    def test_mc_exhausts_small_instance(self, capsys):
+        code = main(["mc", "--algorithm", "known_k_full", "--n", "6", "--k", "2"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "no violations" in output
+        assert "deduped" in output
+        assert "all 5 placements" in output
+
+    def test_mc_explicit_distances(self, capsys):
+        code = main(["mc", "--algorithm", "unknown", "--distances", "2,4"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "1 explicit configuration" in output
+
+    def test_mc_truncated_search_fails(self, capsys):
+        code = main(["mc", "--n", "6", "--k", "2", "--max-states", "5"])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "truncated" in output
+
+    def test_mc_rejects_k_larger_than_n(self, capsys):
+        code = main(["mc", "--n", "4", "--k", "6"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestTimelineCommand:
     def test_timeline_renders(self, capsys):
         code = main(

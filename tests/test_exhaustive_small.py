@@ -10,6 +10,7 @@ at these sizes, not a sample.
 from __future__ import annotations
 
 import itertools
+import math
 
 import pytest
 
@@ -35,7 +36,7 @@ def test_exhaustive_small_configurations(algorithm, n, k):
         result = run_experiment(algorithm, placement)
         if not result.ok:
             failures.append((placement.describe(), result.report.describe()))
-    assert count == _binomial(n - 1, k - 1)
+    assert count == math.comb(n - 1, k - 1)
     assert not failures, f"{len(failures)}/{count} failed: {failures[:3]}"
 
 
@@ -46,10 +47,3 @@ def test_exhaustive_full_ring(algorithm):
     result = run_experiment(algorithm, placement)
     assert result.ok
     assert sorted(result.final_positions) == list(range(6))
-
-
-def _binomial(n: int, k: int) -> int:
-    result = 1
-    for index in range(k):
-        result = result * (n - index) // (index + 1)
-    return result

@@ -63,3 +63,53 @@ def test_activation_log_grows_with_steps():
     engine = build_engine("known_k_full", placement)
     engine.run_rounds(3)
     assert len(engine.activation_log) == engine.steps
+
+
+class TestReplaySchedulerContract:
+    """Pin the edge-case contract spelled out in the class docstring."""
+
+    def test_empty_schedule_falls_back_immediately(self):
+        scheduler = ReplayScheduler([])
+        assert scheduler.exhausted
+        assert scheduler.next_batch([3, 5, 8]) == [3]  # lowest-id fallback
+
+    def test_empty_schedule_still_quiesces_a_run(self):
+        placement = Placement(ring_size=8, homes=(0, 4))
+        scheduler = ReplayScheduler([])
+        engine = build_engine("known_k_full", placement, scheduler=scheduler)
+        engine.run()
+        assert engine.quiescent
+        assert scheduler.exhausted
+
+    def test_disabled_entries_skipped_permanently(self):
+        # Each log entry is consumed at most once: a skipped entry does
+        # not come back even when the named agent is enabled later.
+        scheduler = ReplayScheduler([9, 1, 9, 2])
+        assert scheduler.next_batch([1, 2]) == [1]  # 9 skipped
+        assert scheduler.next_batch([2, 9]) == [9]  # second 9 still queued
+        assert scheduler.next_batch([2, 9]) == [2]
+        assert scheduler.exhausted
+        # The first, skipped 9 never replays: fallback now rules.
+        assert scheduler.next_batch([9]) == [9]
+
+    def test_unknown_agent_ids_are_skipped_not_raised(self):
+        scheduler = ReplayScheduler([42, -1, 2])
+        assert scheduler.next_batch([2, 3]) == [2]
+        assert scheduler.exhausted
+
+    def test_exhaustion_flag_flips_exactly_at_end(self):
+        scheduler = ReplayScheduler([1, 2])
+        assert not scheduler.exhausted
+        assert scheduler.next_batch([1, 2]) == [1]
+        assert not scheduler.exhausted
+        assert scheduler.next_batch([1, 2]) == [2]
+        assert scheduler.exhausted
+
+    def test_fallback_is_lowest_enabled_id(self):
+        scheduler = ReplayScheduler([7])
+        assert scheduler.next_batch([7]) == [7]
+        assert scheduler.next_batch([5, 6]) == [5]
+        assert scheduler.next_batch([6]) == [6]
+
+    def test_describe_reports_log_length(self):
+        assert ReplayScheduler([1, 2, 3]).describe() == "ReplayScheduler(len=3)"
