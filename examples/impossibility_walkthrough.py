@@ -58,7 +58,7 @@ def main() -> None:
     )
     print(
         f"  gaps inside the repeated window: {outcome.observed_prefix_gaps} "
-        f"(= d, never 2d)"
+        "(= d, never 2d)"
     )
     print(f"  uniform on R'? {outcome.report.ok}")
     print()

@@ -13,6 +13,23 @@ Public API highlights:
 >>> result = run_experiment("known_k_full", placement)
 >>> result.ok
 True
+
+Experiments are also declarative: an :class:`ExperimentSpec` names the
+algorithm, placement, scheduler spec string, engine options and limits,
+round-trips losslessly through JSON, and drives every entry point
+(``run_experiment``, ``build_engine``, sweeps, the model checker and
+the CLI's ``--spec``/``spec`` commands):
+
+>>> from repro import ExperimentSpec, PlacementSpec
+>>> spec = ExperimentSpec(
+...     algorithm="known_k_full",
+...     placement=PlacementSpec(kind="random", ring_size=60, agent_count=6, seed=1),
+...     scheduler="laggard:victims=0,patience=5",
+... )
+>>> ExperimentSpec.from_json(spec.to_json()) == spec
+True
+>>> spec.run().ok
+True
 """
 
 from repro.analysis.verification import (
@@ -35,6 +52,22 @@ from repro.errors import (
     VerificationError,
 )
 from repro.experiments.runner import ALGORITHMS, RunResult, run_experiment
+from repro.registry import (
+    AlgorithmInfo,
+    SchedulerInfo,
+    SchedulerParam,
+    SchedulerSpec,
+    algorithm_names,
+    build_scheduler,
+    format_scheduler_spec,
+    get_algorithm,
+    get_scheduler,
+    parse_scheduler_spec,
+    register_algorithm,
+    register_scheduler,
+    registry_dump,
+    scheduler_names,
+)
 from repro.ring.placement import (
     Placement,
     equidistant_placement,
@@ -50,37 +83,55 @@ from repro.sim.scheduler import (
     RandomScheduler,
     SynchronousScheduler,
 )
+from repro.spec import ExperimentSpec, PlacementSpec, run_spec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmInfo",
     "BurstScheduler",
     "ConfigurationError",
     "Engine",
+    "ExperimentSpec",
     "KnownKFullAgent",
     "KnownKLogSpaceAgent",
     "KnownNFullAgent",
     "LaggardScheduler",
     "Placement",
+    "PlacementSpec",
     "ProtocolViolation",
     "RandomScheduler",
     "ReproError",
     "RunResult",
+    "SchedulerInfo",
+    "SchedulerParam",
+    "SchedulerSpec",
     "SimulationError",
     "SimulationLimitExceeded",
     "SynchronousScheduler",
     "UnknownKAgent",
     "VerificationError",
     "VerificationReport",
+    "algorithm_names",
     "allowed_gaps",
+    "build_scheduler",
     "equidistant_placement",
+    "format_scheduler_spec",
+    "get_algorithm",
+    "get_scheduler",
+    "parse_scheduler_spec",
     "periodic_placement",
     "placement_from_distances",
     "quarter_packed_placement",
     "random_placement",
+    "register_algorithm",
+    "register_scheduler",
+    "registry_dump",
     "require_uniform_deployment",
     "run_experiment",
+    "run_spec",
+    "scheduler_names",
     "verify_positions",
     "verify_uniform_deployment",
     "__version__",

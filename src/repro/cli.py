@@ -2,8 +2,12 @@
 
 Commands:
 
-* ``list``          — registered algorithms and their Table 1 rows,
-* ``run``           — one experiment on a random or explicit placement,
+* ``list``          — registered algorithms and schedulers (Table 1 rows;
+  ``--json`` emits the machine-readable registry dump),
+* ``run``           — one experiment on a random or explicit placement
+  (``--spec file.json`` runs a serialized experiment spec instead),
+* ``spec``          — emit the :class:`repro.spec.ExperimentSpec` JSON a
+  ``run`` command line denotes (pipe it to a file, run it anywhere),
 * ``sweep``         — Table 1 style (n, k) grids with log-log slopes,
 * ``psweep``        — full (algorithm, n, k, scheduler, trial) grids
   fanned across a process pool with deterministic per-cell seeds,
@@ -16,6 +20,13 @@ Commands:
   replayable counterexample schedules,
 * ``report``        — re-run the experiment suite, emit markdown.
 
+Schedulers are named by registry *spec strings* everywhere — bare names
+(``sync``, ``random``) or parameterised forms such as
+``laggard:victims=0-2,patience=5,seed=3`` (see :mod:`repro.registry`).
+The CLI never constructs an algorithm or scheduler directly; every
+command resolves names through the registry and, where a single
+experiment is run, through a declarative ``ExperimentSpec``.
+
 Every command prints aligned text tables (no plotting dependencies) and
 exits non-zero if a run unexpectedly fails verification.
 """
@@ -23,6 +34,7 @@ exits non-zero if a run unexpectedly fails verification.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional, Sequence, Tuple
@@ -31,10 +43,11 @@ from repro.analysis.render import render_gaps, render_positions
 from repro.errors import ReproError
 from repro.experiments.impossibility import demonstrate_impossibility
 from repro.experiments.lower_bound import quarter_sweep
-from repro.experiments.runner import ALGORITHMS, run_experiment
+from repro.experiments.runner import run_experiment
 from repro.experiments.table1 import format_rows, symmetry_sweep, table1_sweep
+from repro.registry import algorithm_names, get_algorithm, registry_dump
 from repro.ring.placement import placement_from_distances, random_placement
-from repro.sim.scheduler import Scheduler
+from repro.spec import ExperimentSpec, PlacementSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -67,14 +80,67 @@ def _parse_ints(text: str) -> List[int]:
         ) from None
 
 
-def _scheduler(name: str, seed: int) -> Scheduler:
-    # Single registry shared with the sweep runner, so `repro run` and
-    # `repro psweep` always accept the same specs with the same params.
-    from repro.experiments.sweep import SCHEDULER_SPECS, make_scheduler
+def _parse_scheduler_list(text: str) -> List[str]:
+    """Split a CLI scheduler list into individual spec strings.
 
-    if name not in SCHEDULER_SPECS:
-        raise argparse.ArgumentTypeError(f"unknown scheduler {name!r}")
-    return make_scheduler(name, seed)
+    Parameterised specs contain commas (``laggard:victims=0,patience=5``),
+    so ``;`` separates entries whenever a spec string appears; the plain
+    legacy form (``sync,random,chaos``) still splits on commas.
+    """
+    separator = ";" if (";" in text or ":" in text) else ","
+    return [part.strip() for part in text.split(separator) if part.strip()]
+
+
+def _placement_spec(args: argparse.Namespace) -> PlacementSpec:
+    """The placement a run-style command line denotes."""
+    if getattr(args, "distances", None):
+        return PlacementSpec(kind="distances", distances=tuple(args.distances))
+    return PlacementSpec(
+        kind="random", ring_size=args.n, agent_count=args.k, seed=args.seed
+    )
+
+
+def _experiment_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """The full :class:`ExperimentSpec` a run-style command line denotes."""
+    return ExperimentSpec(
+        algorithm=args.algorithm,
+        placement=_placement_spec(args),
+        scheduler=args.scheduler,
+        scheduler_seed=args.scheduler_seed,
+        max_steps=getattr(args, "max_steps", None),
+    )
+
+
+def _add_run_style_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared experiment-denoting flags of ``run`` and ``spec``."""
+    parser.add_argument(
+        "--algorithm", default="known_k_full", choices=algorithm_names()
+    )
+    parser.add_argument("--n", type=int, default=60, help="ring size")
+    parser.add_argument("--k", type=int, default=6, help="agent count")
+    parser.add_argument("--seed", type=int, default=0, help="placement seed")
+    parser.add_argument(
+        "--distances",
+        type=_parse_ints,
+        default=None,
+        help="explicit distance sequence (overrides --n/--k/--seed)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="sync",
+        help=(
+            "scheduler spec string, e.g. sync, random:seed=7, "
+            "laggard:victims=0-2,patience=5 (see `repro list --json`)"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler-seed", type=int, default=0,
+        help="context seed for seed parameters the spec leaves unset",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None,
+        help="abort the run after this many atomic actions",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,31 +154,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list registered algorithms")
+    list_parser = commands.add_parser(
+        "list", help="list registered algorithms and schedulers"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable dump of both registries",
+    )
 
     run_parser = commands.add_parser("run", help="run one experiment")
-    run_parser.add_argument("--algorithm", default="known_k_full", choices=sorted(ALGORITHMS))
-    run_parser.add_argument("--n", type=int, default=60, help="ring size")
-    run_parser.add_argument("--k", type=int, default=6, help="agent count")
-    run_parser.add_argument("--seed", type=int, default=0, help="placement seed")
+    _add_run_style_arguments(run_parser)
     run_parser.add_argument(
-        "--distances",
-        type=_parse_ints,
-        default=None,
-        help="explicit distance sequence (overrides --n/--k/--seed)",
+        "--spec", default=None, metavar="PATH",
+        help="run a serialized ExperimentSpec (other experiment flags ignored)",
     )
-    run_parser.add_argument(
-        "--scheduler",
-        default="sync",
-        choices=["sync", "random", "laggard", "burst", "chaos"],
-    )
-    run_parser.add_argument("--scheduler-seed", type=int, default=0)
     run_parser.add_argument(
         "--render", action="store_true", help="draw the ring before/after"
     )
 
+    spec_parser = commands.add_parser(
+        "spec",
+        help="emit the ExperimentSpec JSON a `run` command line denotes",
+        description=(
+            "Takes the same experiment flags as `run` and prints the "
+            "declarative spec instead of executing it.  The JSON "
+            "round-trips losslessly (`repro run --spec file.json` "
+            "reproduces the run byte for byte) and its content hash is "
+            "stable across machines."
+        ),
+    )
+    _add_run_style_arguments(spec_parser)
+    spec_parser.add_argument(
+        "--output", default=None, help="write to a file instead of stdout"
+    )
+
     sweep_parser = commands.add_parser("sweep", help="Table 1 style (n,k) sweep")
-    sweep_parser.add_argument("--algorithm", default="known_k_full", choices=sorted(ALGORITHMS))
+    sweep_parser.add_argument(
+        "--algorithm", default="known_k_full", choices=algorithm_names()
+    )
     sweep_parser.add_argument(
         "--grid", type=_parse_grid, default=[(64, 8), (128, 8), (256, 8)],
         help="comma-separated NxK pairs, e.g. 64x8,128x8",
@@ -134,7 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     psweep_parser.add_argument(
         "--schedulers", default="sync",
-        help="comma-separated scheduler specs: sync,random,laggard,burst,chaos",
+        help=(
+            "scheduler spec strings; separate with ';' when specs carry "
+            "parameters (sync;laggard:patience=5), ',' works for bare "
+            "names (sync,random,chaos)"
+        ),
     )
     psweep_parser.add_argument("--trials", type=int, default=1)
     psweep_parser.add_argument("--seed", type=int, default=0, help="base seed")
@@ -157,7 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     symmetry_parser.add_argument("--n", type=int, default=240)
     symmetry_parser.add_argument("--k", type=int, default=16)
     symmetry_parser.add_argument("--degrees", type=_parse_ints, default=[1, 2, 4, 8])
-    symmetry_parser.add_argument("--algorithm", default="unknown", choices=sorted(ALGORITHMS))
+    symmetry_parser.add_argument(
+        "--algorithm", default="unknown", choices=algorithm_names()
+    )
     symmetry_parser.add_argument("--seed", type=int, default=0)
 
     impossibility_parser = commands.add_parser(
@@ -203,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline", help="ASCII space-time diagram of one run"
     )
     timeline_parser.add_argument(
-        "--algorithm", default="known_k_full", choices=sorted(ALGORITHMS)
+        "--algorithm", default="known_k_full", choices=algorithm_names()
     )
     timeline_parser.add_argument("--n", type=int, default=16)
     timeline_parser.add_argument("--k", type=int, default=4)
@@ -228,7 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     mc_parser.add_argument(
-        "--algorithm", default="known_k_full", choices=sorted(ALGORITHMS)
+        "--algorithm",
+        default="known_k_full",
+        choices=algorithm_names(include_selftest=True),
+        help="registered algorithm (wake_race is the broken self-test agent)",
     )
     mc_parser.add_argument("--n", type=int, default=6, help="ring size")
     mc_parser.add_argument("--k", type=int, default=2, help="agent count")
@@ -237,6 +325,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_ints,
         default=None,
         help="check one explicit configuration instead of all placements",
+    )
+    mc_parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help=(
+            "check the algorithm and placement of a serialized "
+            "ExperimentSpec (scheduler/engine options are irrelevant to "
+            "an exhaustive search and are ignored)"
+        ),
     )
     mc_parser.add_argument(
         "--depth-limit", type=int, default=None,
@@ -258,34 +354,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_list() -> int:
+def _command_list(args: argparse.Namespace) -> int:
+    dump = registry_dump()
+    if args.json:
+        print(json.dumps(dump, indent=2))
+        return 0
     rows = [
         {
-            "name": name,
-            "halts": halts,
-            "description": description,
+            "name": entry["name"],
+            "knowledge": entry["knowledge"],
+            "memory": entry["memory_bound"],
+            "time": entry["time_bound"],
+            "halts": entry["halts"],
+            "description": entry["description"],
         }
-        for name, (_, halts, description) in sorted(ALGORITHMS.items())
+        for entry in dump["algorithms"]
+        if not entry["selftest"]
     ]
     print(format_rows(rows))
+    print()
+    scheduler_rows = [
+        {
+            "scheduler": entry["name"],
+            "counts_time": entry["counts_time"],
+            "parameters": ",".join(
+                param["name"] for param in entry["params"]
+            ) or "-",
+            "description": entry["description"],
+        }
+        for entry in dump["schedulers"]
+    ]
+    print(format_rows(scheduler_rows))
     return 0
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    if args.distances:
-        placement = placement_from_distances(tuple(args.distances))
+    if args.spec:
+        spec = ExperimentSpec.load(args.spec)
     else:
-        placement = random_placement(args.n, args.k, random.Random(args.seed))
-    scheduler = _scheduler(args.scheduler, args.scheduler_seed)
+        spec = _experiment_spec(args)
+    placement = spec.build_placement()
     print(f"configuration: {placement.describe()}")
     if args.render:
         print("  before:", render_positions(placement.ring_size, placement.homes))
-    result = run_experiment(args.algorithm, placement, scheduler=scheduler)
+    result = run_experiment(spec)
     if args.render:
         print("  after :", render_positions(placement.ring_size, result.final_positions))
         print(" ", render_gaps(placement.ring_size, result.final_positions))
     print(format_rows([result.row()]))
     return 0 if result.ok else 1
+
+
+def _command_spec(args: argparse.Namespace) -> int:
+    spec = _experiment_spec(args)
+    text = spec.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output} (content hash {spec.content_hash()[:16]})")
+    else:
+        print(text)
+    return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -327,9 +456,7 @@ def _command_psweep(args: argparse.Namespace) -> int:
             name.strip() for name in args.algorithms.split(",") if name.strip()
         ),
         grid=tuple(args.grid),
-        schedulers=tuple(
-            name.strip() for name in args.schedulers.split(",") if name.strip()
-        ),
+        schedulers=tuple(_parse_scheduler_list(args.schedulers)),
         trials=args.trials,
         base_seed=args.seed,
     )
@@ -425,16 +552,24 @@ def _command_timeline(args: argparse.Namespace) -> int:
 def _command_mc(args: argparse.Namespace) -> int:
     from repro.mc import all_placements, check_interleavings
 
-    if args.distances:
+    if args.spec:
+        experiment = ExperimentSpec.load(args.spec)
+        algorithm = experiment.algorithm
+        placements = [experiment.build_placement()]
+        scope = f"1 configuration from spec {args.spec}"
+    elif args.distances:
+        algorithm = args.algorithm
         placements = [placement_from_distances(tuple(args.distances))]
         scope = "1 explicit configuration"
     else:
+        algorithm = args.algorithm
         if not 1 <= args.k <= args.n:
             raise ReproError(
                 f"k must be in [1, n]: got k={args.k}, n={args.n}"
             )
         placements = list(all_placements(args.n, args.k))
         scope = f"all {len(placements)} placements (one home fixed at node 0)"
+    get_algorithm(algorithm)  # fail fast with the registry's error message
     n = placements[0].ring_size
     k = placements[0].agent_count
     progress = None
@@ -442,13 +577,13 @@ def _command_mc(args: argparse.Namespace) -> int:
         progress = lambda stats: print(  # noqa: E731 - tiny local callback
             f"  ... {stats.describe()}", file=sys.stderr
         )
-    print(f"model checking {args.algorithm} on n={n} k={k}: {scope}")
+    print(f"model checking {algorithm} on n={n} k={k}: {scope}")
     rows = []
     violations = []
     complete = True
     for placement in placements:
         result = check_interleavings(
-            args.algorithm,
+            algorithm,
             placement,
             depth_limit=args.depth_limit,
             max_states=args.max_states,
@@ -487,7 +622,7 @@ def _command_mc(args: argparse.Namespace) -> int:
         print("\nsearch truncated (depth/state limit hit): bounded check only")
         return 1
     print(
-        f"\nno violations: every fair schedule of every checked configuration "
+        "\nno violations: every fair schedule of every checked configuration "
         f"deploys uniformly (exhaustive at n={n}, k={k})"
     )
     return 0
@@ -513,34 +648,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code (0 ok, 1 fail, 2 error)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        if args.command == "list":
-            return _command_list()
-        if args.command == "run":
-            return _command_run(args)
-        if args.command == "sweep":
-            return _command_sweep(args)
-        if args.command == "psweep":
-            return _command_psweep(args)
-        if args.command == "symmetry":
-            return _command_symmetry(args)
-        if args.command == "impossibility":
-            return _command_impossibility(args)
-        if args.command == "lower-bound":
-            return _command_lower_bound(args)
-        if args.command == "timeline":
-            return _command_timeline(args)
-        if args.command == "mc":
-            return _command_mc(args)
-        if args.command == "compare":
-            return _command_compare(args)
-        if args.command == "report":
-            return _command_report(args)
+    handlers = {
+        "list": _command_list,
+        "run": _command_run,
+        "spec": _command_spec,
+        "sweep": _command_sweep,
+        "psweep": _command_psweep,
+        "symmetry": _command_symmetry,
+        "impossibility": _command_impossibility,
+        "lower-bound": _command_lower_bound,
+        "timeline": _command_timeline,
+        "mc": _command_mc,
+        "compare": _command_compare,
+        "report": _command_report,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:
         parser.error(f"unhandled command {args.command!r}")
+    try:
+        return handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    return 0
 
 
 if __name__ == "__main__":

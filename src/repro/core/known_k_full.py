@@ -26,12 +26,23 @@ from __future__ import annotations
 from repro.analysis.sequences import minimal_period, rotation_rank
 from repro.core.targets import target_offset
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.sim.actions import Action, NodeView
 from repro.sim.agent import Agent, AgentProtocol
 
 __all__ = ["KnownKFullAgent"]
 
 
+@register_algorithm(
+    "known_k_full",
+    build=lambda cls, k, n: cls(k),
+    halts=True,
+    knowledge="k",
+    memory_bound="O(k log n)",
+    time_bound="O(n)",
+    table1_row="Algorithm 1",
+    description="Algorithm 1: knowledge of k, O(k log n) memory, O(n) time",
+)
 class KnownKFullAgent(Agent):
     """The Algorithm 1 agent.  ``agent_count`` is the known ``k``."""
 

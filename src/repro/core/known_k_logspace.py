@@ -35,12 +35,23 @@ from __future__ import annotations
 from repro.core.messages import LeaderNotice
 from repro.core.targets import hop_to_next_target
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.sim.actions import Action, NodeView
 from repro.sim.agent import Agent, AgentProtocol
 
 __all__ = ["KnownKLogSpaceAgent"]
 
 
+@register_algorithm(
+    "known_k_logspace",
+    build=lambda cls, k, n: cls(k),
+    halts=True,
+    knowledge="k",
+    memory_bound="O(log n)",
+    time_bound="O(n log k)",
+    table1_row="Algorithms 2+3",
+    description="Algorithms 2+3: knowledge of k, O(log n) memory, O(n log k) time",
+)
 class KnownKLogSpaceAgent(Agent):
     """The Algorithms 2+3 agent.  ``agent_count`` is the known ``k``."""
 

@@ -15,12 +15,23 @@ from __future__ import annotations
 from repro.analysis.sequences import minimal_period, rotation_rank
 from repro.core.targets import target_offset
 from repro.errors import ConfigurationError
+from repro.registry import register_algorithm
 from repro.sim.actions import Action, NodeView
 from repro.sim.agent import Agent, AgentProtocol
 
 __all__ = ["KnownNFullAgent"]
 
 
+@register_algorithm(
+    "known_n_full",
+    build=lambda cls, k, n: cls(n),
+    halts=True,
+    knowledge="n",
+    memory_bound="O(k log n)",
+    time_bound="O(n)",
+    table1_row="Algorithm 1 (footnote 2)",
+    description="Algorithm 1 variant (footnote 2): knowledge of n instead of k",
+)
 class KnownNFullAgent(Agent):
     """The footnote-2 agent: ``ring_size`` is the known ``n``."""
 

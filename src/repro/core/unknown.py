@@ -47,12 +47,23 @@ from repro.analysis.sequences import (
 )
 from repro.core.messages import PatrolInfo
 from repro.core.targets import target_offset
+from repro.registry import register_algorithm
 from repro.sim.actions import Action, NodeView
 from repro.sim.agent import Agent, AgentProtocol
 
 __all__ = ["UnknownKAgent"]
 
 
+@register_algorithm(
+    "unknown",
+    build=lambda cls, k, n: cls(),
+    halts=False,
+    knowledge="none",
+    memory_bound="O(k log n)",
+    time_bound="O(n l)",
+    table1_row="Algorithms 4-6",
+    description="Algorithms 4-6: no knowledge, relaxed problem, adaptive in l",
+)
 class UnknownKAgent(Agent):
     """The Algorithms 4-6 agent: no knowledge of k or n."""
 

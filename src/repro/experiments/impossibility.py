@@ -33,7 +33,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.runner import build_agents, build_engine, run_experiment
 from repro.ring.placement import Placement
 from repro.sim.engine import Engine
-from repro.sim.scheduler import SynchronousScheduler
+from repro.registry import build_scheduler
 
 __all__ = [
     "ImpossibilityOutcome",
@@ -73,7 +73,6 @@ def expanded_placement(base: Placement, q: int) -> Placement:
     if q < 1:
         raise ConfigurationError(f"q must be >= 1, got {q}")
     n = base.ring_size
-    k = base.agent_count
     ring_size = 2 * q * n + 2 * n
     homes: List[int] = []
     for block in range(q + 1):
@@ -118,7 +117,7 @@ def lemma1_window_agreement(
     engine_expanded = Engine(
         placement=expanded,
         agents=deceived,
-        scheduler=SynchronousScheduler(),
+        scheduler=build_scheduler("sync"),
         memory_audit_interval=1_000_000,
     )
 
@@ -160,7 +159,7 @@ def demonstrate_impossibility(
     engine = Engine(
         placement=expanded,
         agents=deceived,
-        scheduler=SynchronousScheduler(),
+        scheduler=build_scheduler("sync"),
     )
     engine.run()
     positions = tuple(sorted(engine.final_positions().values()))

@@ -77,11 +77,11 @@ def _table1_section(profile: ReportProfile, algorithm: str, seed: int) -> List[s
     lines.append("```")
     lines.append("")
     lines.append(
-        f"- log-log slope of ideal time vs n: "
+        "- log-log slope of ideal time vs n: "
         f"**{loglog_slope(profile.n_sweep, times):.2f}**"
     )
     lines.append(
-        f"- log-log slope of total moves vs n: "
+        "- log-log slope of total moves vs n: "
         f"**{loglog_slope(profile.n_sweep, moves):.2f}**"
     )
     lines.append(f"- all runs uniform: **{all(r.ok for r in results)}**")

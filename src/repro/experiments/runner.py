@@ -4,50 +4,111 @@
 algorithm, runs it to quiescence, verifies uniform deployment with the
 right terminal-state requirement, and returns a :class:`RunResult`
 bundling the metrics and the verification report.
+
+Both :func:`run_experiment` and :func:`build_engine` accept either the
+classic ``(algorithm_name, placement, **kwargs)`` form or a single
+declarative :class:`repro.spec.ExperimentSpec` — the serialized-spec
+path and the kwargs path produce byte-identical executions (pinned by
+``tests/test_spec.py``).
+
+Algorithm metadata lives in :mod:`repro.registry`; the module-level
+``ALGORITHMS`` mapping survives as a backward-compatible live view of
+the registry in the historical ``name -> (factory, halts, description)``
+tuple format.  Mutating it still works but raises a
+``DeprecationWarning`` — register through
+:func:`repro.registry.register_algorithm` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Iterator, MutableMapping, Optional, Tuple, Union
 
 from repro.analysis.verification import VerificationReport, verify_uniform_deployment
-from repro.core.known_k_full import KnownKFullAgent
-from repro.core.known_k_logspace import KnownKLogSpaceAgent
-from repro.core.known_n_full import KnownNFullAgent
-from repro.core.unknown import UnknownKAgent
 from repro.errors import ConfigurationError
+from repro.registry import (
+    AlgorithmInfo,
+    algorithm_names,
+    build_scheduler,
+    get_algorithm,
+    register_algorithm_info,
+    unregister_algorithm,
+)
 from repro.ring.placement import Placement
 from repro.sim.agent import Agent
 from repro.sim.engine import Engine
-from repro.sim.scheduler import Scheduler, SynchronousScheduler
+from repro.sim.scheduler import Scheduler
 from repro.sim.trace import TraceRecorder
+from repro.spec import ExperimentSpec
 
 __all__ = ["ALGORITHMS", "RunResult", "build_agents", "build_engine", "run_experiment"]
 
-#: Registry: algorithm name -> (agent factory given (k, n), halts?, description).
-ALGORITHMS: Dict[str, Tuple[Callable[[int, int], Agent], bool, str]] = {
-    "known_k_full": (
-        lambda k, n: KnownKFullAgent(k),
-        True,
-        "Algorithm 1: knowledge of k, O(k log n) memory, O(n) time",
-    ),
-    "known_n_full": (
-        lambda k, n: KnownNFullAgent(n),
-        True,
-        "Algorithm 1 variant (footnote 2): knowledge of n instead of k",
-    ),
-    "known_k_logspace": (
-        lambda k, n: KnownKLogSpaceAgent(k),
-        True,
-        "Algorithms 2+3: knowledge of k, O(log n) memory, O(n log k) time",
-    ),
-    "unknown": (
-        lambda k, n: UnknownKAgent(),
-        False,
-        "Algorithms 4-6: no knowledge, relaxed problem, adaptive in l",
-    ),
-}
+_MUTATION_WARNING = (
+    "mutating ALGORITHMS is deprecated; use repro.registry."
+    "register_algorithm / unregister_algorithm instead"
+)
+
+
+class _AlgorithmsView(MutableMapping):
+    """Live ``name -> (factory, halts, description)`` view of the registry.
+
+    Read access mirrors the historical dict exactly (self-test agents
+    such as ``wake_race`` are hidden, as before).  Writes are deprecated
+    but still functional: assignment of a legacy tuple forwards to the
+    registry with placeholder Table 1 metadata, deletion unregisters —
+    both after a ``DeprecationWarning``.
+    """
+
+    def __getitem__(self, name: str) -> Tuple[object, bool, str]:
+        try:
+            info = get_algorithm(name)
+        except ConfigurationError:
+            raise KeyError(name) from None
+        if info.selftest:
+            raise KeyError(name)
+        return (info.factory, info.halts, info.description)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(algorithm_names())
+
+    def __len__(self) -> int:
+        return len(algorithm_names())
+
+    def __setitem__(self, name: str, value: Tuple[object, bool, str]) -> None:
+        warnings.warn(_MUTATION_WARNING, DeprecationWarning, stacklevel=2)
+        try:
+            factory, halts, description = value
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"ALGORITHMS[{name!r}] expects a (factory, halts, description) "
+                f"tuple, got {value!r}"
+            ) from None
+        register_algorithm_info(
+            AlgorithmInfo(
+                name=name,
+                factory=factory,
+                halts=bool(halts),
+                knowledge="unspecified",
+                memory_bound="unspecified",
+                time_bound="unspecified",
+                table1_row="unregistered",
+                description=str(description),
+            ),
+            replace=True,
+        )
+
+    def __delitem__(self, name: str) -> None:
+        warnings.warn(_MUTATION_WARNING, DeprecationWarning, stacklevel=2)
+        self[name]  # raise KeyError for unknown/hidden names
+        unregister_algorithm(name)
+
+    def __repr__(self) -> str:
+        return f"ALGORITHMS({dict(self)!r})"
+
+
+#: Backward-compatible registry view: name -> (factory, halts, description).
+ALGORITHMS: MutableMapping[str, Tuple[object, bool, str]] = _AlgorithmsView()
 
 
 @dataclass(frozen=True)
@@ -87,25 +148,42 @@ class RunResult:
         }
 
 
+def _reject_spec_overrides(caller: str, **values) -> None:
+    """Fail loudly when spec calls also pass engine-option kwargs.
+
+    A spec carries its own engine options; silently discarding an
+    explicit ``max_steps=...`` (etc.) would drop the caller's limits.
+    Each value is compared against the signature default — passing the
+    default explicitly is indistinguishable from omitting it, which is
+    harmless because the spec then decides, exactly as documented.
+    """
+    conflicting = sorted(
+        name for name, (value, default) in values.items() if value != default
+    )
+    if conflicting:
+        raise ConfigurationError(
+            f"{caller}(spec) carries its own engine options; move "
+            f"{conflicting} into the spec (ExperimentSpec.with_options) "
+            f"instead of passing them alongside it"
+        )
+
+
 def build_agents(
     algorithm: str, agent_count: int, ring_size: int = 0
 ) -> Tuple[Agent, ...]:
     """Instantiate one agent per home for a registered algorithm.
 
     ``ring_size`` is required only by knowledge-of-n algorithms; the
-    knowledge-of-k and no-knowledge factories ignore it.
+    knowledge-of-k and no-knowledge factories ignore it.  Self-test
+    algorithms (``wake_race``) resolve here too — they are hidden only
+    from experiment-facing listings.
     """
-    if algorithm not in ALGORITHMS:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
-        )
-    factory, _, _ = ALGORITHMS[algorithm]
-    return tuple(factory(agent_count, ring_size) for _ in range(agent_count))
+    return get_algorithm(algorithm).make_agents(agent_count, ring_size)
 
 
 def build_engine(
-    algorithm: str,
-    placement: Placement,
+    algorithm: Union[str, ExperimentSpec],
+    placement: Optional[Placement] = None,
     scheduler: Optional[Scheduler] = None,
     trace: Optional[TraceRecorder] = None,
     memory_audit_interval: int = 16,
@@ -116,6 +194,12 @@ def build_engine(
 ) -> Engine:
     """Build an engine wired with fresh agents for ``algorithm``.
 
+    ``algorithm`` may be a registered name plus a ``placement`` (the
+    classic form) or a single :class:`~repro.spec.ExperimentSpec`
+    carrying the placement, scheduler and engine options itself (an
+    explicit ``scheduler``/``trace`` argument still wins, so replays
+    and recordings compose with specs).
+
     ``collect_metrics=False`` makes the run a pure-throughput measurement
     (the metrics object stays empty); ``validate_enabledness=True`` runs
     the O(k) enabled-set oracle after every batch as a differential
@@ -123,11 +207,38 @@ def build_engine(
     agent view so the engine supports copy-on-branch ``fork()`` (the
     model checker needs this).
     """
+    if isinstance(algorithm, ExperimentSpec):
+        spec = algorithm
+        if placement is not None:
+            raise ConfigurationError(
+                "build_engine(spec) carries its own placement; do not pass one"
+            )
+        _reject_spec_overrides(
+            "build_engine",
+            memory_audit_interval=(memory_audit_interval, 16),
+            max_steps=(max_steps, None),
+            collect_metrics=(collect_metrics, True),
+            validate_enabledness=(validate_enabledness, False),
+            record_views=(record_views, False),
+        )
+        algorithm = spec.algorithm
+        placement = spec.build_placement()
+        scheduler = scheduler or spec.build_scheduler()
+        memory_audit_interval = spec.memory_audit_interval
+        max_steps = spec.max_steps
+        collect_metrics = spec.collect_metrics
+        validate_enabledness = spec.validate_enabledness
+        record_views = spec.record_views
+    elif placement is None:
+        raise ConfigurationError(
+            "build_engine(name, placement) requires a placement "
+            "(or pass an ExperimentSpec)"
+        )
     agents = build_agents(algorithm, placement.agent_count, placement.ring_size)
     return Engine(
         placement=placement,
         agents=agents,
-        scheduler=scheduler or SynchronousScheduler(),
+        scheduler=scheduler or build_scheduler("sync"),
         trace=trace,
         memory_audit_interval=memory_audit_interval,
         max_steps=max_steps,
@@ -138,35 +249,60 @@ def build_engine(
 
 
 def run_experiment(
-    algorithm: str,
-    placement: Placement,
+    algorithm: Union[str, ExperimentSpec],
+    placement: Optional[Placement] = None,
     scheduler: Optional[Scheduler] = None,
     trace: Optional[TraceRecorder] = None,
     memory_audit_interval: int = 16,
     max_steps: Optional[int] = None,
     validate_enabledness: bool = False,
 ) -> RunResult:
-    """Run ``algorithm`` on ``placement`` to quiescence and verify it."""
-    scheduler = scheduler or SynchronousScheduler()
-    engine = build_engine(
-        algorithm,
-        placement,
-        scheduler=scheduler,
-        trace=trace,
-        memory_audit_interval=memory_audit_interval,
-        max_steps=max_steps,
-        validate_enabledness=validate_enabledness,
-    )
+    """Run ``algorithm`` on ``placement`` to quiescence and verify it.
+
+    Accepts either the classic ``(name, placement, **kwargs)`` form or a
+    single declarative :class:`~repro.spec.ExperimentSpec`; the two
+    forms produce byte-identical executions for equivalent inputs.
+    """
+    if isinstance(algorithm, ExperimentSpec):
+        spec = algorithm
+        if placement is not None:
+            raise ConfigurationError(
+                "run_experiment(spec) carries its own placement; do not pass one"
+            )
+        _reject_spec_overrides(
+            "run_experiment",
+            memory_audit_interval=(memory_audit_interval, 16),
+            max_steps=(max_steps, None),
+            validate_enabledness=(validate_enabledness, False),
+        )
+        engine = build_engine(spec, scheduler=scheduler, trace=trace)
+        name = spec.algorithm
+    else:
+        if placement is None:
+            raise ConfigurationError(
+                "run_experiment(name, placement) requires a placement "
+                "(or pass an ExperimentSpec)"
+            )
+        engine = build_engine(
+            algorithm,
+            placement,
+            scheduler=scheduler,
+            trace=trace,
+            memory_audit_interval=memory_audit_interval,
+            max_steps=max_steps,
+            validate_enabledness=validate_enabledness,
+        )
+        name = algorithm
     metrics = engine.run()
-    _, halts, _ = ALGORITHMS[algorithm]
+    halts = get_algorithm(name).halts
     report = verify_uniform_deployment(
         engine, require_halted=halts, require_suspended=not halts
     )
     positions = tuple(sorted(engine.final_positions().values()))
     return RunResult(
-        algorithm=algorithm,
-        placement=placement,
-        scheduler=scheduler.describe(),
+        algorithm=name,
+        placement=engine.placement,
+        scheduler=engine.scheduler.describe(),
         total_moves=metrics.total_moves,
         max_moves=metrics.max_moves,
         ideal_time=metrics.rounds,

@@ -18,7 +18,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.experiments.runner import RunResult, run_experiment
 from repro.ring.placement import random_placement
-from repro.sim.scheduler import RandomScheduler, Scheduler, SynchronousScheduler
+from repro.registry import build_scheduler
+from repro.sim.scheduler import Scheduler
 
 __all__ = ["MetricSummary", "TrialAggregate", "aggregate_trials"]
 
@@ -104,7 +105,7 @@ def aggregate_trials(
     for index in range(trials):
         placement = random_placement(ring_size, agent_count, rng)
         scheduler = (
-            scheduler_factory(index) if scheduler_factory else SynchronousScheduler()
+            scheduler_factory(index) if scheduler_factory else build_scheduler("sync")
         )
         results.append(
             run_experiment(

@@ -27,21 +27,20 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
-import random
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.runner import ALGORITHMS, RunResult, run_experiment
-from repro.ring.placement import random_placement
-from repro.sim.scheduler import (
-    BurstScheduler,
-    ChaosScheduler,
-    LaggardScheduler,
-    RandomScheduler,
-    Scheduler,
-    SynchronousScheduler,
+from repro.experiments.runner import RunResult, run_experiment
+from repro.registry import (
+    build_scheduler,
+    get_algorithm,
+    parse_scheduler_spec,
+    scheduler_names,
 )
+from repro.sim.scheduler import Scheduler
+from repro.spec import ExperimentSpec, PlacementSpec
 
 __all__ = [
     "SCHEDULER_SPECS",
@@ -56,27 +55,49 @@ __all__ = [
     "summarize_rows",
 ]
 
-#: Scheduler spec name -> factory taking the cell seed.  The laggard
-#: adversary starves agent 0; the burst/chaos parameters match the CLI.
-SCHEDULER_SPECS: Dict[str, object] = {
-    "sync": lambda seed: SynchronousScheduler(),
-    "random": lambda seed: RandomScheduler(seed=seed),
-    "laggard": lambda seed: LaggardScheduler([0], patience=100, seed=seed),
-    "burst": lambda seed: BurstScheduler(burst=40, seed=seed),
-    "chaos": lambda seed: ChaosScheduler(epoch=30, seed=seed),
-}
+class _SchedulerSpecsView(Mapping):
+    """Deprecated read-only view: spec name -> factory taking the cell seed.
+
+    Kept so historical ``SCHEDULER_SPECS[name](seed)`` call sites keep
+    working; the factories now delegate to
+    :func:`repro.registry.build_scheduler`, so the registry is the only
+    place schedulers are constructed.
+    """
+
+    def __getitem__(self, name: str) -> object:
+        try:
+            parse_scheduler_spec(name)
+        except ConfigurationError:
+            # Mapping contract: `in` / `.get` must see KeyError, not a
+            # domain error, to keep legacy membership tests working.
+            raise KeyError(name) from None
+        return lambda seed, _name=name: build_scheduler(_name, seed=seed)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(scheduler_names())
+
+    def __len__(self) -> int:
+        return len(scheduler_names())
+
+
+#: Deprecated registry view (use scheduler spec strings instead).
+SCHEDULER_SPECS: Mapping[str, object] = _SchedulerSpecsView()
 
 
 def make_scheduler(spec_name: str, seed: int) -> Scheduler:
-    """Instantiate the scheduler for a sweep cell."""
-    try:
-        factory = SCHEDULER_SPECS[spec_name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown scheduler spec {spec_name!r}; "
-            f"choose from {sorted(SCHEDULER_SPECS)}"
-        ) from None
-    return factory(seed)
+    """Deprecated alias for :func:`repro.registry.build_scheduler`.
+
+    The sweep runner used to own its own scheduler table; the typed
+    registry replaced it.  ``spec_name`` may now be any scheduler spec
+    string (``"laggard:victims=0,patience=5"``), not just a bare name.
+    """
+    warnings.warn(
+        "repro.experiments.sweep.make_scheduler is deprecated; use "
+        "repro.registry.build_scheduler",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_scheduler(spec_name, seed=seed)
 
 
 def cell_seed(
@@ -109,6 +130,27 @@ class SweepCell:
     seed: int
     max_steps: Optional[int] = None
 
+    def to_experiment_spec(self) -> ExperimentSpec:
+        """The declarative :class:`~repro.spec.ExperimentSpec` of this cell.
+
+        The cell seed doubles as the random-placement seed; the
+        scheduler seed is decorrelated from it by a fixed XOR (no second
+        hash needed).  ``run_cell`` executes exactly this spec, so a
+        sweep is nothing but a grid of serializable experiment specs.
+        """
+        return ExperimentSpec(
+            algorithm=self.algorithm,
+            placement=PlacementSpec(
+                kind="random",
+                ring_size=self.ring_size,
+                agent_count=self.agent_count,
+                seed=self.seed,
+            ),
+            scheduler=self.scheduler,
+            scheduler_seed=self.seed ^ 0x5DEECE66D,
+            max_steps=self.max_steps,
+        )
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -123,17 +165,9 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for algorithm in self.algorithms:
-            if algorithm not in ALGORITHMS:
-                raise ConfigurationError(
-                    f"unknown algorithm {algorithm!r}; "
-                    f"choose from {sorted(ALGORITHMS)}"
-                )
+            get_algorithm(algorithm)  # raises on unknown names
         for scheduler in self.schedulers:
-            if scheduler not in SCHEDULER_SPECS:
-                raise ConfigurationError(
-                    f"unknown scheduler spec {scheduler!r}; "
-                    f"choose from {sorted(SCHEDULER_SPECS)}"
-                )
+            parse_scheduler_spec(scheduler)  # full spec strings are allowed
         if self.trials < 1:
             raise ConfigurationError("trials must be >= 1")
 
@@ -167,14 +201,7 @@ def expand_cells(spec: SweepSpec) -> List[SweepCell]:
 
 
 def _result_for_cell(cell: SweepCell) -> RunResult:
-    placement = random_placement(
-        cell.ring_size, cell.agent_count, random.Random(cell.seed)
-    )
-    # Decorrelate the schedule from the placement without a second hash.
-    scheduler = make_scheduler(cell.scheduler, cell.seed ^ 0x5DEECE66D)
-    return run_experiment(
-        cell.algorithm, placement, scheduler=scheduler, max_steps=cell.max_steps
-    )
+    return run_experiment(cell.to_experiment_spec())
 
 
 def run_cell(cell: SweepCell) -> Dict[str, object]:

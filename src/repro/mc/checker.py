@@ -131,14 +131,15 @@ def _resolve_terminal(
     require_suspended: Optional[bool],
 ) -> TerminalProperty:
     if require_halted is None and require_suspended is None:
-        from repro.experiments.runner import ALGORITHMS
+        from repro.registry import get_algorithm
 
-        if algorithm not in ALGORITHMS:
+        try:
+            halts = get_algorithm(algorithm).halts
+        except ConfigurationError:
             raise ConfigurationError(
                 f"unknown algorithm {algorithm!r} and no explicit terminal "
-                f"requirements; pass require_halted/require_suspended"
-            )
-        _, halts, _ = ALGORITHMS[algorithm]
+                "requirements; pass require_halted/require_suspended"
+            ) from None
         require_halted, require_suspended = halts, not halts
     return UniformTerminal(
         require_halted=bool(require_halted),
@@ -149,7 +150,7 @@ def _resolve_terminal(
 def _cycle_message(depth: int) -> str:
     """The livelock-cycle violation text (shared with the replay check)."""
     return (
-        f"schedule returns to a state already on its own path "
+        "schedule returns to a state already on its own path "
         f"after {depth} actions"
     )
 

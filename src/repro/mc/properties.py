@@ -30,7 +30,7 @@ The built-ins cover the paper's claims:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.analysis.verification import audit_configuration, verify_uniform_deployment
 from repro.errors import SimulationError

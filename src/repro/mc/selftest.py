@@ -35,12 +35,27 @@ from typing import List
 from repro.core.known_k_logspace import KnownKLogSpaceAgent
 from repro.core.messages import LeaderNotice
 from repro.core.targets import hop_to_next_target
+from repro.registry import register_algorithm
 from repro.sim.actions import Action
 from repro.sim.agent import AgentProtocol
 
 __all__ = ["WakeRaceAgent", "wake_race_agents"]
 
 
+@register_algorithm(
+    "wake_race",
+    build=lambda cls, k, n: cls(k),
+    halts=True,
+    knowledge="k",
+    memory_bound="O(log n)",
+    time_bound="O(n log k)",
+    table1_row="selftest (broken Algorithms 2+3)",
+    description=(
+        "model-checker self-test: Algorithms 2+3 with an injected "
+        "follower wake-race bug"
+    ),
+    selftest=True,
+)
 class WakeRaceAgent(KnownKLogSpaceAgent):
     """Algorithms 2+3 with a schedule-dependent follower bug injected."""
 

@@ -73,7 +73,7 @@ from repro.ring.placement import Placement
 from repro.sim.actions import Move, NodeView
 from repro.sim.agent import Agent
 from repro.sim.metrics import Metrics
-from repro.sim.scheduler import Scheduler, SynchronousScheduler
+from repro.sim.scheduler import Scheduler
 from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
 
 __all__ = ["Engine"]
@@ -110,7 +110,13 @@ class Engine:
         self._homes: Dict[int, int] = dict(enumerate(placement.homes))
         self._inboxes: Dict[int, List[object]] = {i: [] for i in self._agents}
         self._started: Dict[int, bool] = {i: False for i in self._agents}
-        self._scheduler = scheduler or SynchronousScheduler()
+        if scheduler is None:
+            # Late import: the registry lazily imports the algorithm
+            # modules, which themselves import this module.
+            from repro.registry import build_scheduler
+
+            scheduler = build_scheduler("sync")
+        self._scheduler = scheduler
         self._trace = trace
         self._record_views = record_views
         if record_views:
@@ -161,6 +167,11 @@ class Engine:
     def placement(self) -> Placement:
         """The initial configuration this engine was built from."""
         return self._placement
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The scheduler driving this engine's batches."""
+        return self._scheduler
 
     @property
     def steps(self) -> int:

@@ -21,12 +21,21 @@ Schedulers provided:
 
 All schedulers are fair by construction given the engine's guarantee
 that enabled agents remain enabled until activated.
+
+Each scheduler registers itself with :mod:`repro.registry` under a spec
+name (``sync``, ``random``, ``laggard``, ``burst``, ``chaos``,
+``replay``) with typed parameter declarations, so one spec string like
+``"laggard:victims=0,patience=5,seed=3"`` drives the CLI, the sweep
+runner and the model checker identically.  This module is the only
+place scheduler classes are constructed outside the registry and tests.
 """
 
 from __future__ import annotations
 
 import random
 from typing import List, Optional, Sequence, Set
+
+from repro.registry import CONTEXT_SEED, SchedulerParam, register_scheduler
 
 __all__ = [
     "Scheduler",
@@ -61,6 +70,11 @@ class Scheduler:
         return type(self).__name__
 
 
+@register_scheduler(
+    "sync",
+    build=lambda cls, args: cls(),
+    description="synchronous rounds: every enabled agent once per round",
+)
 class SynchronousScheduler(Scheduler):
     """Activate every enabled agent once per round; rounds measure time.
 
@@ -76,6 +90,15 @@ class SynchronousScheduler(Scheduler):
         return list(enabled)
 
 
+@register_scheduler(
+    "random",
+    params=(
+        SchedulerParam(
+            "seed", default=CONTEXT_SEED, doc="RNG seed (defaults to the context seed)"
+        ),
+    ),
+    description="one uniformly random enabled agent per step",
+)
 class RandomScheduler(Scheduler):
     """Activate one uniformly random enabled agent per step."""
 
@@ -90,6 +113,26 @@ class RandomScheduler(Scheduler):
         return f"RandomScheduler(seed={self._seed})"
 
 
+@register_scheduler(
+    "laggard",
+    params=(
+        SchedulerParam(
+            "victims",
+            kind="int_list",
+            default=(0,),
+            aliases=("victim",),
+            doc="agent ids to starve, e.g. victims=0-2",
+        ),
+        SchedulerParam("patience", default=100, doc="starvation budget per cycle"),
+        SchedulerParam(
+            "seed", default=CONTEXT_SEED, doc="RNG seed (defaults to the context seed)"
+        ),
+    ),
+    build=lambda cls, args: cls(
+        list(args["victims"]), patience=args["patience"], seed=args["seed"]
+    ),
+    description="adversary starving chosen agents within fairness",
+)
 class LaggardScheduler(Scheduler):
     """Starve ``laggards`` whenever possible, for ``patience`` steps each time.
 
@@ -139,6 +182,18 @@ class LaggardScheduler(Scheduler):
         )
 
 
+@register_scheduler(
+    "replay",
+    params=(
+        SchedulerParam(
+            "log",
+            kind="int_list",
+            default=(),
+            doc="recorded agent-id sequence, e.g. log=0-1-1-0",
+        ),
+    ),
+    description="replay a recorded activation sequence exactly",
+)
 class ReplayScheduler(Scheduler):
     """Replay a recorded activation sequence exactly (deterministic debug).
 
@@ -190,6 +245,16 @@ class ReplayScheduler(Scheduler):
         return f"ReplayScheduler(len={len(self._log)})"
 
 
+@register_scheduler(
+    "chaos",
+    params=(
+        SchedulerParam("epoch", default=30, doc="steps between strategy switches"),
+        SchedulerParam(
+            "seed", default=CONTEXT_SEED, doc="RNG seed (defaults to the context seed)"
+        ),
+    ),
+    description="rotating adversary mix: random / starve-low / starve-high / burst",
+)
 class ChaosScheduler(Scheduler):
     """Compose adversaries: switch strategy every ``epoch`` steps.
 
@@ -222,6 +287,16 @@ class ChaosScheduler(Scheduler):
         return f"ChaosScheduler(epoch={self._epoch})"
 
 
+@register_scheduler(
+    "burst",
+    params=(
+        SchedulerParam("burst", default=40, doc="exclusive steps per agent turn"),
+        SchedulerParam(
+            "seed", default=CONTEXT_SEED, doc="RNG seed (defaults to the context seed)"
+        ),
+    ),
+    description="one agent runs in long exclusive bursts, then rotates",
+)
 class BurstScheduler(Scheduler):
     """Run one agent exclusively for up to ``burst`` steps, then rotate.
 

@@ -1,0 +1,353 @@
+"""The declarative, serializable experiment description.
+
+One :class:`ExperimentSpec` is everything a runner needs to reproduce an
+experiment: the algorithm name, a declarative :class:`PlacementSpec`, a
+scheduler spec string (see :mod:`repro.registry`), the engine options
+and the run limits.  The same frozen value drives every entry point —
+``run_experiment(spec)``, ``build_engine(spec)``, sweep cells
+(:meth:`repro.experiments.sweep.SweepCell.to_experiment_spec`), the
+model checker and the ``repro run --spec file.json`` / ``repro spec``
+CLI commands — so a JSON file, a sweep cell and a command line all
+denote experiments in exactly one vocabulary.
+
+Contracts:
+
+* **Lossless round trip** — ``ExperimentSpec.from_dict(spec.to_dict())
+  == spec`` and likewise through :meth:`ExperimentSpec.to_json`; the
+  test suite pins this with a Hypothesis strategy over specs.
+* **Byte-identical replay** — building and running an engine from a
+  spec produces the same ``activation_log``, ``Metrics`` and
+  ``RunResult.row()`` as the equivalent keyword-argument calls.
+* **Stable content hash** — :meth:`ExperimentSpec.content_hash` is the
+  SHA-256 of the canonical JSON form: identical across processes,
+  interpreter runs and platforms, usable for caching and for deriving
+  per-cell seeds (:meth:`ExperimentSpec.derive_seed`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.registry import (
+    SchedulerSpec,
+    format_scheduler_spec,
+    get_algorithm,
+    parse_scheduler_spec,
+)
+from repro.ring.placement import (
+    Placement,
+    equidistant_placement,
+    placement_from_distances,
+    quarter_packed_placement,
+    random_placement,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "PlacementSpec",
+    "run_spec",
+]
+
+#: Placement kinds and the fields each one requires.
+_PLACEMENT_KINDS: Dict[str, Tuple[str, ...]] = {
+    "random": ("ring_size", "agent_count", "seed"),
+    "equidistant": ("ring_size", "agent_count"),
+    "quarter": ("ring_size", "agent_count"),
+    "distances": ("distances",),
+    "homes": ("ring_size", "homes"),
+}
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """A declarative initial configuration (JSON-safe, buildable).
+
+    ``kind`` selects the placement family; the other fields are required
+    or forbidden per kind:
+
+    * ``random`` — ``ring_size``, ``agent_count``, ``seed`` (uniformly
+      random distinct homes via :func:`repro.ring.placement.random_placement`),
+    * ``equidistant`` / ``quarter`` — ``ring_size``, ``agent_count``,
+    * ``distances`` — an explicit distance sequence,
+    * ``homes`` — ``ring_size`` plus explicit home nodes (the lossless
+      image of any concrete :class:`~repro.ring.placement.Placement`).
+    """
+
+    kind: str = "random"
+    ring_size: Optional[int] = None
+    agent_count: Optional[int] = None
+    seed: Optional[int] = None
+    distances: Optional[Tuple[int, ...]] = None
+    homes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PLACEMENT_KINDS:
+            raise ConfigurationError(
+                f"unknown placement kind {self.kind!r}; "
+                f"choose from {sorted(_PLACEMENT_KINDS)}"
+            )
+        for name in ("distances", "homes"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, tuple(int(v) for v in value))
+        required = _PLACEMENT_KINDS[self.kind]
+        for spec_field in fields(self):
+            if spec_field.name == "kind":
+                continue
+            value = getattr(self, spec_field.name)
+            if spec_field.name in required:
+                if value is None:
+                    raise ConfigurationError(
+                        f"placement kind {self.kind!r} requires "
+                        f"{spec_field.name!r}"
+                    )
+            elif value is not None:
+                raise ConfigurationError(
+                    f"placement kind {self.kind!r} does not take "
+                    f"{spec_field.name!r}"
+                )
+
+    @classmethod
+    def from_placement(cls, placement: Placement) -> "PlacementSpec":
+        """The lossless ``homes`` image of a concrete placement."""
+        return cls(
+            kind="homes",
+            ring_size=placement.ring_size,
+            homes=placement.homes,
+        )
+
+    def build(self) -> Placement:
+        """Materialise the concrete :class:`Placement` this spec denotes."""
+        if self.kind == "random":
+            return random_placement(
+                self.ring_size, self.agent_count, random.Random(self.seed)
+            )
+        if self.kind == "equidistant":
+            return equidistant_placement(self.ring_size, self.agent_count)
+        if self.kind == "quarter":
+            return quarter_packed_placement(self.ring_size, self.agent_count)
+        if self.kind == "distances":
+            return placement_from_distances(self.distances)
+        return Placement(ring_size=self.ring_size, homes=self.homes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict carrying ``kind`` plus its required fields only."""
+        out: Dict[str, object] = {"kind": self.kind}
+        for name in _PLACEMENT_KINDS[self.kind]:
+            value = getattr(self, name)
+            out[name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PlacementSpec":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected)."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"placement spec must be a dict, got {type(data).__name__}"
+            )
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"placement spec has unknown keys {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+def _coerce_scheduler(value: Union[str, SchedulerSpec]) -> str:
+    """Normalise any accepted scheduler form to the canonical spec string."""
+    return format_scheduler_spec(parse_scheduler_spec(value))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, fully described and JSON-serialisable.
+
+    ``scheduler`` is stored as the *canonical* scheduler spec string
+    (any accepted spelling — aliases, whitespace, a parsed
+    :class:`~repro.registry.SchedulerSpec` — is normalised on
+    construction), so equal experiments compare equal and hash equal.
+    ``scheduler_seed`` is the context seed filling any seed parameter
+    the spec string leaves unpinned.  Engine options and limits mirror
+    :func:`repro.experiments.runner.build_engine`.
+    """
+
+    algorithm: str
+    placement: PlacementSpec
+    scheduler: str = "sync"
+    scheduler_seed: int = 0
+    max_steps: Optional[int] = None
+    memory_audit_interval: int = 16
+    collect_metrics: bool = True
+    validate_enabledness: bool = False
+    record_views: bool = False
+
+    def __post_init__(self) -> None:
+        get_algorithm(self.algorithm)  # raises on unknown names
+        if not isinstance(self.placement, PlacementSpec):
+            raise ConfigurationError(
+                "placement must be a PlacementSpec, got "
+                f"{type(self.placement).__name__} (use "
+                "PlacementSpec.from_placement for concrete placements)"
+            )
+        object.__setattr__(self, "scheduler", _coerce_scheduler(self.scheduler))
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def for_placement(
+        cls, algorithm: str, placement: Placement, **kwargs
+    ) -> "ExperimentSpec":
+        """Spec for a concrete placement (stored losslessly as homes)."""
+        return cls(
+            algorithm=algorithm,
+            placement=PlacementSpec.from_placement(placement),
+            **kwargs,
+        )
+
+    def with_options(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)
+
+    # -- materialisation -----------------------------------------------------
+
+    def build_placement(self) -> Placement:
+        """The concrete placement this spec denotes."""
+        return self.placement.build()
+
+    def build_scheduler(self):
+        """A fresh scheduler instance (unpinned seeds <- ``scheduler_seed``)."""
+        return parse_scheduler_spec(self.scheduler).build(seed=self.scheduler_seed)
+
+    def build_engine(self):
+        """A fresh engine wired exactly as this spec describes."""
+        from repro.experiments.runner import build_engine
+
+        return build_engine(self)
+
+    def run(self):
+        """Run to quiescence and verify (see :func:`run_spec`)."""
+        return run_spec(self)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-ready form: algorithm, placement, scheduler,
+        engine options and limits as nested plain dicts."""
+        return {
+            "algorithm": self.algorithm,
+            "placement": self.placement.to_dict(),
+            "scheduler": {"spec": self.scheduler, "seed": self.scheduler_seed},
+            "engine": {
+                "memory_audit_interval": self.memory_audit_interval,
+                "collect_metrics": self.collect_metrics,
+                "validate_enabledness": self.validate_enabledness,
+                "record_views": self.record_views,
+            },
+            "limits": {"max_steps": self.max_steps},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; missing sections take the defaults."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"experiment spec must be a dict, got {type(data).__name__}"
+            )
+        unknown = set(data) - {
+            "algorithm", "placement", "scheduler", "engine", "limits"
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"experiment spec has unknown keys {sorted(unknown)}"
+            )
+        try:
+            algorithm = data["algorithm"]
+            placement = PlacementSpec.from_dict(data["placement"])
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"experiment spec is missing required key {missing}"
+            ) from None
+        scheduler = data.get("scheduler", {})
+        engine = data.get("engine", {})
+        limits = data.get("limits", {})
+        for section_name, section in (
+            ("scheduler", scheduler), ("engine", engine), ("limits", limits)
+        ):
+            if not isinstance(section, dict):
+                raise ConfigurationError(
+                    f"experiment spec section {section_name!r} must be a "
+                    f"dict, got {type(section).__name__}"
+                )
+        return cls(
+            algorithm=algorithm,
+            placement=placement,
+            scheduler=scheduler.get("spec", "sync"),
+            scheduler_seed=int(scheduler.get("seed", 0)),
+            max_steps=limits.get("max_steps"),
+            memory_audit_interval=int(engine.get("memory_audit_interval", 16)),
+            collect_metrics=bool(engine.get("collect_metrics", True)),
+            validate_enabledness=bool(engine.get("validate_enabledness", False)),
+            record_views=bool(engine.get("record_views", False)),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"experiment spec is not valid JSON: {error}")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentSpec":
+        """Read a spec from a JSON file (the ``--spec file.json`` path)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read experiment spec {path!r}: {error}"
+            ) from None
+
+    # -- identity ------------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the canonical JSON form.
+
+        Stable across processes, runs and platforms — equal specs hash
+        equal, any field change rehashes.  Use it as a cache key or to
+        derive deterministic seeds (:meth:`derive_seed`).
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def derive_seed(self, salt: Union[int, str] = 0) -> int:
+        """A stable 63-bit seed derived from the content hash and ``salt``."""
+        key = f"{self.content_hash()}|{salt}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def run_spec(spec: ExperimentSpec):
+    """Run a declarative spec to quiescence and verify it.
+
+    Thin delegation to :func:`repro.experiments.runner.run_experiment`,
+    which accepts specs natively; kept as a named entry point so callers
+    reading JSON never need the kwargs API.
+    """
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(spec)

@@ -50,7 +50,7 @@ class _Walker(Agent):
 
     def protocol(self, first_view):
         for _ in range(self.steps):
-            view = yield Action.move_forward()
+            yield Action.move_forward()
         self.done = True
         yield Action.halt_here()
 
@@ -59,7 +59,7 @@ class _BadFinisher(Agent):
     """Finishes its generator without halting — a protocol violation."""
 
     def protocol(self, first_view):
-        view = yield Action.move_forward()
+        yield Action.move_forward()
         # generator returns without halt/suspend
 
 
@@ -113,7 +113,7 @@ class TestAgentLifecycle:
     def test_suspend_flag_cleared_on_next_act(self):
         class Suspender(Agent):
             def protocol(self, first_view):
-                view = yield Action.suspend_here()
+                yield Action.suspend_here()
                 yield Action.halt_here()
 
         agent = Suspender()

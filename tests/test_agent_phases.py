@@ -8,7 +8,6 @@ ID measurement, estimate adoption).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.known_k_full import KnownKFullAgent
 from repro.core.messages import PatrolInfo
@@ -182,8 +181,7 @@ class TestUnknownPhases:
         # aperiodic blocks, so a (1,3)^4 receiver inside a larger ring
         # aligns only with blocks containing (1,3) repeats, e.g.
         # (1,3,1,3,1,3,1,11): gap must put us at a (1,3) run start.
-        block = (1, 3, 1, 3, 1, 3, 1, 11)
-        sender_n = sum(block)  # 24
+        block = (1, 3, 1, 3, 1, 3, 1, 11)  # sender ring size 24
         # t = 0 alignment needs gap % 24 == 0 and D[j] = block[j mod 8]:
         # (1,3,1,3,1,3,1,3) vs block -> j=7: 3 != 11 -> fails.  t = 2:
         # gap = 1+3 = 4; D matches block[2..9 mod 8] = (1,3,1,3,1,11..)

@@ -34,6 +34,13 @@ MODULES = [
     "repro.embedding.general",
     "repro.embedding.tree",
     "repro.errors",
+    "repro.registry",
+    "repro.spec",
+    "repro.mc",
+    "repro.mc.checker",
+    "repro.mc.properties",
+    "repro.mc.selftest",
+    "repro.mc.state",
     "repro.experiments",
     "repro.experiments.comparison",
     "repro.experiments.figures",

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_scheduler_list, build_parser, main
 
 
 class TestParsing:
@@ -26,6 +28,22 @@ class TestParsing:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_scheduler_list_legacy_commas(self):
+        assert _parse_scheduler_list("sync,random,chaos") == [
+            "sync",
+            "random",
+            "chaos",
+        ]
+
+    def test_scheduler_list_spec_strings_split_on_semicolons(self):
+        assert _parse_scheduler_list("sync;laggard:victims=0,patience=5") == [
+            "sync",
+            "laggard:victims=0,patience=5",
+        ]
+        assert _parse_scheduler_list("laggard:victim=1,patience=3") == [
+            "laggard:victim=1,patience=3"
+        ]
 
 
 class TestCommands:
@@ -61,6 +79,22 @@ class TestCommands:
         )
         assert code == 0
 
+    def test_run_with_parameterised_scheduler_spec(self, capsys):
+        code = main(
+            [
+                "run",
+                "--n", "20", "--k", "4",
+                "--scheduler", "laggard:victim=1,patience=5,seed=2",
+            ]
+        )
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_run_bad_scheduler_spec_is_an_error(self, capsys):
+        code = main(["run", "--scheduler", "laggard:wat=1"])
+        assert code == 2
+        assert "no parameter" in capsys.readouterr().err
+
     def test_sweep_prints_slopes(self, capsys):
         code = main(["sweep", "--grid", "24x4,48x4", "--trials", "1"])
         output = capsys.readouterr().out
@@ -92,6 +126,68 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestListCommand:
+    def test_list_shows_schedulers_and_bounds(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "O(k log n)" in output
+        assert "laggard" in output
+        assert "wake_race" not in output  # self-test agents stay hidden
+
+    def test_list_json_dumps_both_registries(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in payload["algorithms"]}
+        assert {"known_k_full", "unknown", "wake_race"} <= names
+        laggard = next(
+            entry for entry in payload["schedulers"] if entry["name"] == "laggard"
+        )
+        assert [param["name"] for param in laggard["params"]] == [
+            "victims",
+            "patience",
+            "seed",
+        ]
+
+
+class TestSpecCommand:
+    RUN_FLAGS = [
+        "--algorithm", "unknown",
+        "--n", "24", "--k", "4", "--seed", "3",
+        "--scheduler", "laggard:victim=1,patience=7",
+        "--scheduler-seed", "9",
+    ]
+
+    def test_spec_emits_canonical_json(self, capsys):
+        assert main(["spec", *self.RUN_FLAGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "unknown"
+        assert payload["scheduler"] == {
+            "spec": "laggard:victims=1,patience=7",
+            "seed": 9,
+        }
+        assert payload["placement"] == {
+            "kind": "random", "ring_size": 24, "agent_count": 4, "seed": 3,
+        }
+
+    def test_spec_file_drives_run_identically(self, capsys, tmp_path):
+        path = tmp_path / "experiment.json"
+        assert main(["spec", *self.RUN_FLAGS, "--output", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", str(path)]) == 0
+        via_spec = capsys.readouterr().out
+        assert main(["run", *self.RUN_FLAGS]) == 0
+        via_flags = capsys.readouterr().out
+        assert via_spec == via_flags
+
+    def test_spec_round_trips_through_experiment_spec(self, capsys):
+        from repro.spec import ExperimentSpec
+
+        assert main(["spec", *self.RUN_FLAGS]) == 0
+        text = capsys.readouterr().out
+        spec = ExperimentSpec.from_json(text)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+
 class TestMcCommand:
     def test_mc_exhausts_small_instance(self, capsys):
         code = main(["mc", "--algorithm", "known_k_full", "--n", "6", "--k", "2"])
@@ -117,6 +213,30 @@ class TestMcCommand:
         code = main(["mc", "--n", "4", "--k", "6"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_mc_from_spec_file(self, capsys, tmp_path):
+        from repro.spec import ExperimentSpec, PlacementSpec
+
+        path = tmp_path / "mc.json"
+        spec = ExperimentSpec(
+            algorithm="unknown",
+            placement=PlacementSpec(kind="distances", distances=(2, 4)),
+        )
+        path.write_text(spec.to_json(), encoding="utf-8")
+        code = main(["mc", "--spec", str(path)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "1 configuration from spec" in output
+        assert "no violations" in output
+
+    def test_mc_selftest_algorithm_is_reachable(self, capsys):
+        # wake_race registers with selftest=True: hidden from `run`
+        # choices but addressable by the checker, which finds its bug.
+        code = main(["mc", "--algorithm", "wake_race", "--distances", "1,2,5"])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in output
+        assert "wake_race" in output
 
 
 class TestTimelineCommand:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cli import main
 from repro.experiments.comparison import compare_algorithms

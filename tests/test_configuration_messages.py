@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.messages import LeaderNotice, PatrolInfo
 from repro.experiments.runner import build_engine
-from repro.ring.configuration import Configuration, LocalConfiguration
+from repro.ring.configuration import LocalConfiguration
 from repro.ring.placement import Placement, equidistant_placement
 
 

@@ -31,7 +31,7 @@ class Hopper(Agent):
 
     def protocol(self, first_view):
         for _ in range(self.hops):
-            view = yield Action.move_forward()
+            yield Action.move_forward()
         yield Action.halt_here()
 
 
@@ -64,9 +64,8 @@ class Caller(Agent):
         self.payload = payload
 
     def protocol(self, first_view):
-        view = first_view
         for _ in range(self.hops):
-            view = yield Action.move_forward()
+            yield Action.move_forward()
         yield Action.halt_here(broadcast=self.payload)
 
 

@@ -9,7 +9,6 @@ from repro.experiments.runner import ALGORITHMS, build_engine
 from repro.ring.placement import Placement
 from repro.sim.actions import Action
 from repro.sim.agent import Agent
-from repro.sim.engine import Engine
 
 
 def test_step_requires_enabled_agent():

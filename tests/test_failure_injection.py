@@ -15,7 +15,7 @@ from repro.ring.placement import Placement
 from repro.sim.actions import Action, NodeView
 from repro.sim.agent import Agent
 from repro.sim.engine import Engine
-from repro.sim.scheduler import Scheduler, SynchronousScheduler
+from repro.sim.scheduler import Scheduler
 
 
 class CrashingAgent(Agent):
@@ -27,7 +27,7 @@ class CrashingAgent(Agent):
 
     def protocol(self, first_view):
         for _ in range(self.crash_after):
-            view = yield Action.move_forward()
+            yield Action.move_forward()
         raise RuntimeError("injected agent crash")
 
 

@@ -10,7 +10,6 @@ use for the n != ck pattern.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.messages import LeaderNotice
 from repro.experiments.runner import build_engine

@@ -16,17 +16,15 @@ import math
 
 import pytest
 
-from repro.errors import SimulationError
 from repro.mc import (
     MemoryBound,
-    all_placements,
     check_interleavings,
     exhaust_placements,
     replay_counterexample,
 )
-from repro.mc.selftest import WakeRaceAgent, wake_race_agents
+from repro.mc.selftest import wake_race_agents
 from repro.analysis.verification import verify_uniform_deployment
-from repro.experiments.runner import ALGORITHMS, build_engine
+from repro.experiments.runner import ALGORITHMS
 from repro.ring.placement import Placement
 from repro.sim.actions import Action
 from repro.sim.agent import Agent
@@ -220,9 +218,8 @@ class _ForeverSpinner(Agent):
     """Circles the ring forever: a guaranteed livelock cycle."""
 
     def protocol(self, first_view):
-        view = first_view
         while True:
-            view = yield Action.move_forward()
+            yield Action.move_forward()
 
 
 def test_cycle_detection_flags_livelock_and_replays():

@@ -9,7 +9,7 @@ import pytest
 from repro.experiments.runner import build_engine
 from repro.ring.placement import Placement, random_placement
 from repro.sim.scheduler import RandomScheduler, ReplayScheduler
-from repro.sim.trace import TraceEventKind, TraceRecorder
+from repro.sim.trace import TraceRecorder
 
 
 def _events(trace: TraceRecorder):
