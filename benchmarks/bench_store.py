@@ -1,0 +1,177 @@
+"""Run-store micro-benchmarks: archive overhead and warm-cache speedup.
+
+Two questions decide whether the content-addressed store is free enough
+to leave on by default:
+
+* how much does archiving cost per record (put) and how fast can an
+  archive be read back (reopen + get), and
+* how much faster is a sweep whose cells are already archived — the
+  resume path should collapse to hash lookups and JSONL reads, turning
+  O(cells) compute into O(new cells).
+
+Results merge into ``BENCH_engine.json`` next to the engine-throughput
+cases, so the store's overhead trajectory is tracked PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import SweepSpec, execute_sweep, expand_cells
+from repro.spec import ExperimentSpec, PlacementSpec
+from repro.store import RunRecord, RunStore
+
+from benchmarks.conftest import report_lines
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+_CASES: Dict[str, Dict[str, object]] = {}
+
+_RECORDS = 500
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Merge every recorded case into BENCH_engine.json after the module.
+
+    Same read-modify-write contract as ``bench_engine_throughput``: a
+    partial run refreshes only the cases it measured.
+    """
+    yield
+    if not _CASES:
+        return
+    cases: Dict[str, Dict[str, object]] = {}
+    if _JSON_PATH.exists():
+        try:
+            cases = json.loads(_JSON_PATH.read_text()).get("cases", {})
+        except (json.JSONDecodeError, AttributeError):
+            cases = {}
+    cases.update(_CASES)
+    payload = {"schema": 1, "unit": "atomic actions", "cases": cases}
+    _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _synthetic_records(count: int) -> list:
+    """``count`` distinct records sharing one real result payload.
+
+    The payload is computed once (store I/O is what is being measured,
+    not the simulation); hashes are synthesised to make every record a
+    distinct put.
+    """
+    spec = ExperimentSpec(
+        algorithm="known_k_full",
+        placement=PlacementSpec(kind="random", ring_size=24, agent_count=4, seed=1),
+    )
+    template = run_experiment(spec).to_record(spec)
+    return [
+        RunRecord(
+            content_hash=f"{index:064x}",
+            result=template.result,
+            spec=template.spec,
+        )
+        for index in range(count)
+    ]
+
+
+def test_store_put_throughput(benchmark, tmp_path_factory):
+    records = _synthetic_records(_RECORDS)
+    counter = iter(range(1_000_000))
+
+    def write_all():
+        root = tmp_path_factory.mktemp(f"put{next(counter)}")
+        store = RunStore(root)
+        start = time.perf_counter()
+        for record in records:
+            store.put(record)
+        return len(store), time.perf_counter() - start
+
+    count, seconds = benchmark(write_all)
+    assert count == _RECORDS
+    _CASES[f"store put x{_RECORDS}"] = {
+        "records": _RECORDS,
+        "mean_seconds": round(seconds, 6),
+        "records_per_second": round(_RECORDS / seconds) if seconds > 0 else None,
+    }
+    report_lines(
+        "Run store - put",
+        [f"{_RECORDS} records in {seconds:.3f}s "
+         f"({_RECORDS / seconds:,.0f} records/s)"],
+    )
+
+
+def test_store_reopen_and_get_throughput(benchmark, tmp_path_factory):
+    records = _synthetic_records(_RECORDS)
+    root = tmp_path_factory.mktemp("get")
+    store = RunStore(root)
+    for record in records:
+        store.put(record)
+
+    def read_all():
+        start = time.perf_counter()
+        reopened = RunStore(root)  # index scan included: the resume cost
+        for record in records:
+            reopened.get(record.content_hash)
+        return len(reopened), time.perf_counter() - start
+
+    count, seconds = benchmark(read_all)
+    assert count == _RECORDS
+    _CASES[f"store reopen+get x{_RECORDS}"] = {
+        "records": _RECORDS,
+        "mean_seconds": round(seconds, 6),
+        "records_per_second": round(_RECORDS / seconds) if seconds > 0 else None,
+    }
+    report_lines(
+        "Run store - reopen + get",
+        [f"{_RECORDS} records in {seconds:.3f}s "
+         f"({_RECORDS / seconds:,.0f} records/s)"],
+    )
+
+
+def test_warm_cache_sweep_speedup(benchmark, tmp_path_factory):
+    # The acceptance case for resumable sweeps: a fully archived sweep
+    # must collapse to hash lookups — orders of magnitude under the cold
+    # run, and never slower than ~10% of it even on noisy machines.
+    spec = SweepSpec(
+        algorithms=("known_k_full",),
+        grid=((128, 8), (256, 16)),
+        schedulers=("sync", "random"),
+        trials=2,
+        base_seed=3,
+    )
+    root = tmp_path_factory.mktemp("sweep")
+    store = RunStore(root)
+
+    start = time.perf_counter()
+    cold = execute_sweep(spec, processes=1, store=store)
+    cold_seconds = time.perf_counter() - start
+    assert cold.executed == len(expand_cells(spec))
+
+    def warm_run():
+        start = time.perf_counter()
+        outcome = execute_sweep(spec, processes=1, store=store)
+        return outcome, time.perf_counter() - start
+
+    warm, warm_seconds = benchmark(warm_run)
+    assert warm.executed == 0 and warm.cached == cold.executed
+    assert warm.rows == cold.rows
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    assert speedup > 10, f"warm sweep only {speedup:.1f}x faster than cold"
+    _CASES["sweep warm-cache 8 cells"] = {
+        "cells": cold.executed,
+        "cold_seconds": round(cold_seconds, 6),
+        "mean_seconds": round(warm_seconds, 6),
+        "speedup": round(speedup, 1),
+    }
+    report_lines(
+        "Run store - warm-cache sweep",
+        [
+            f"cold: {cold_seconds:.3f}s for {cold.executed} cells",
+            f"warm: {warm_seconds:.3f}s (100% cache hits)",
+            f"speedup: {speedup:.0f}x",
+        ],
+    )

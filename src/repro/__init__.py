@@ -84,6 +84,7 @@ from repro.sim.scheduler import (
     SynchronousScheduler,
 )
 from repro.spec import ExperimentSpec, PlacementSpec, run_spec
+from repro.store import RunRecord, RunStore, cached_run
 
 __version__ = "1.1.0"
 
@@ -103,7 +104,9 @@ __all__ = [
     "ProtocolViolation",
     "RandomScheduler",
     "ReproError",
+    "RunRecord",
     "RunResult",
+    "RunStore",
     "SchedulerInfo",
     "SchedulerParam",
     "SchedulerSpec",
@@ -116,6 +119,7 @@ __all__ = [
     "algorithm_names",
     "allowed_gaps",
     "build_scheduler",
+    "cached_run",
     "equidistant_placement",
     "format_scheduler_spec",
     "get_algorithm",

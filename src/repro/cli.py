@@ -10,7 +10,12 @@ Commands:
   ``run`` command line denotes (pipe it to a file, run it anywhere),
 * ``sweep``         — Table 1 style (n, k) grids with log-log slopes,
 * ``psweep``        — full (algorithm, n, k, scheduler, trial) grids
-  fanned across a process pool with deterministic per-cell seeds,
+  fanned across a process pool with deterministic per-cell seeds
+  (``--store DIR`` archives every cell as it completes and ``--resume``
+  skips cells already archived — a killed sweep picks up where it
+  left off),
+* ``query``         — filter a run store by algorithm / scheduler /
+  n / k / hash prefix without executing anything,
 * ``symmetry``      — Result 4 adaptivity sweep over symmetry degrees,
 * ``impossibility`` — the Theorem 5 / Figure 7 construction,
 * ``lower-bound``   — Theorem 1 quarter-packed comparison vs optimum,
@@ -18,7 +23,13 @@ Commands:
 * ``timeline``      — ASCII space-time diagram of one run,
 * ``mc``            — exhaustive interleaving model checking with
   replayable counterexample schedules,
-* ``report``        — re-run the experiment suite, emit markdown.
+* ``report``        — re-run the experiment suite, emit markdown
+  (``--store DIR`` renders archived runs without re-executing).
+
+Commands that execute experiments accept ``--store DIR``: completed
+runs are archived in a content-addressed run store keyed by the
+experiment spec's SHA-256 content hash, and any run whose hash is
+already archived is served from the store instead of simulated.
 
 Schedulers are named by registry *spec strings* everywhere — bare names
 (``sync``, ``random``) or parameterised forms such as
@@ -171,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--render", action="store_true", help="draw the ring before/after"
     )
+    run_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "content-addressed run store: serve the run from the archive "
+            "on a spec-hash hit, archive it otherwise"
+        ),
+    )
 
     spec_parser = commands.add_parser(
         "spec",
@@ -188,6 +206,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write to a file instead of stdout"
     )
 
+    query_parser = commands.add_parser(
+        "query",
+        help="filter archived runs in a run store (no execution)",
+        description=(
+            "Search a content-addressed run store written by `run --store`, "
+            "`psweep --store`, `sweep --store` or `report --store`.  "
+            "Filters combine conjunctively; `--hash` matches a content-hash "
+            "prefix like git's abbreviated object names."
+        ),
+    )
+    query_parser.add_argument("--store", required=True, metavar="DIR")
+    query_parser.add_argument("--algorithm", default=None)
+    query_parser.add_argument(
+        "--scheduler", default=None,
+        help="canonical scheduler spec string (e.g. random:seed=7)",
+    )
+    query_parser.add_argument("--n", type=int, default=None, help="ring size")
+    query_parser.add_argument("--k", type=int, default=None, help="agent count")
+    query_parser.add_argument(
+        "--hash", default=None, metavar="PREFIX",
+        help="content-hash prefix of the spec (see `repro spec`)",
+    )
+    query_parser.add_argument(
+        "--failed", action="store_true",
+        help="only runs that did not deploy uniformly",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full matching records as JSON",
+    )
+
     sweep_parser = commands.add_parser("sweep", help="Table 1 style (n,k) sweep")
     sweep_parser.add_argument(
         "--algorithm", default="known_k_full", choices=algorithm_names()
@@ -198,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--trials", type=int, default=1)
     sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="archive runs / reuse archived runs from this run store",
+    )
 
     psweep_parser = commands.add_parser(
         "psweep", help="parallel sweep over a full experiment grid"
@@ -232,6 +285,20 @@ def build_parser() -> argparse.ArgumentParser:
     psweep_parser.add_argument(
         "--summary", action="store_true",
         help="print the per-(algorithm,n,k,scheduler) aggregate instead of raw rows",
+    )
+    psweep_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "stream completed cells into this content-addressed run store "
+            "(a killed sweep resumes losslessly from it)"
+        ),
+    )
+    psweep_parser.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "with --store: skip cells whose spec hash is already archived "
+            "(--no-resume recomputes everything)"
+        ),
     )
 
     symmetry_parser = commands.add_parser(
@@ -282,6 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument(
         "--output", default=None, help="write to a file instead of stdout"
+    )
+    report_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="render archived runs from this store instead of re-executing",
     )
 
     timeline_parser = commands.add_parser(
@@ -397,7 +468,17 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"configuration: {placement.describe()}")
     if args.render:
         print("  before:", render_positions(placement.ring_size, placement.homes))
-    result = run_experiment(spec)
+    if args.store:
+        from repro.store import RunStore, cached_run
+
+        result, hit = cached_run(spec, RunStore(args.store))
+        short = spec.content_hash()[:16]
+        if hit:
+            print(f"cache hit: archived run {short} (0 simulations executed)")
+        else:
+            print(f"archived run {short} to {args.store}")
+    else:
+        result = run_experiment(spec)
     if args.render:
         print("  after :", render_positions(placement.ring_size, result.final_positions))
         print(" ", render_gaps(placement.ring_size, result.final_positions))
@@ -418,7 +499,14 @@ def _command_spec(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    results = table1_sweep(args.algorithm, args.grid, seed=args.seed, trials=args.trials)
+    store = None
+    if args.store:
+        from repro.store import RunStore
+
+        store = RunStore(args.store)
+    results = table1_sweep(
+        args.algorithm, args.grid, seed=args.seed, trials=args.trials, store=store
+    )
     print(format_rows([result.row() for result in results]))
     ns = sorted({result.placement.ring_size for result in results})
     if len(ns) >= 2:
@@ -446,8 +534,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def _command_psweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import (
         SweepSpec,
+        execute_sweep,
         rows_to_json,
-        run_sweep,
         summarize_rows,
     )
 
@@ -460,10 +548,23 @@ def _command_psweep(args: argparse.Namespace) -> int:
         trials=args.trials,
         base_seed=args.seed,
     )
-    rows = run_sweep(spec, processes=args.jobs)
+    store = None
+    if args.store:
+        from repro.store import RunStore
+
+        store = RunStore(args.store)
+    outcome = execute_sweep(
+        spec, processes=args.jobs, store=store, resume=args.resume
+    )
+    rows = outcome.rows
     print(f"{len(rows)} cells "
           f"({len(spec.algorithms)} algorithms x {len(spec.grid)} sizes x "
           f"{len(spec.schedulers)} schedulers x {spec.trials} trials)")
+    if store is not None:
+        print(
+            f"store: {outcome.executed} executed, {outcome.cached} cached "
+            f"({args.store}, {len(store)} records)"
+        )
     print(format_rows(summarize_rows(rows) if args.summary else rows))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -523,7 +624,12 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
-    text = generate_report(profile_name=args.profile, seed=args.seed)
+    store = None
+    if args.store:
+        from repro.store import RunStore
+
+        store = RunStore(args.store)
+    text = generate_report(profile_name=args.profile, seed=args.seed, store=store)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
@@ -628,6 +734,40 @@ def _command_mc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.store import RunStore
+
+    store = RunStore(args.store, create=False)
+    records = list(
+        store.query(
+            algorithm=args.algorithm,
+            scheduler=args.scheduler,
+            ring_size=args.n,
+            agent_count=args.k,
+            uniform=False if args.failed else None,
+            hash_prefix=args.hash,
+        )
+    )
+    if args.json:
+        print(json.dumps([record.to_dict() for record in records], indent=2))
+        return 0
+    rows = []
+    for record in records:
+        # One row schema everywhere: RunResult.row() shapes the metrics;
+        # query only prefixes the content hash and swaps the scheduler
+        # description for the producing spec's canonical string.
+        row = {"hash": record.content_hash[:16]}
+        row.update(record.to_run_result().row())
+        spec = record.spec or {}
+        row["scheduler"] = (spec.get("scheduler") or {}).get(
+            "spec", row["scheduler"]
+        )
+        rows.append(row)
+    print(format_rows(rows))
+    print(f"\n{len(rows)} of {len(store)} archived runs matched")
+    return 0
+
+
 def _command_lower_bound(args: argparse.Namespace) -> int:
     rows = []
     for row in quarter_sweep(args.sizes):
@@ -652,6 +792,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list": _command_list,
         "run": _command_run,
         "spec": _command_spec,
+        "query": _command_query,
         "sweep": _command_sweep,
         "psweep": _command_psweep,
         "symmetry": _command_symmetry,

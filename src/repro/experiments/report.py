@@ -7,23 +7,31 @@ the lower bounds, the impossibility construction, the adaptivity
 sweep, the figure configurations and the rendezvous contrast.  The
 ``quick`` profile (default) finishes in well under a minute; ``full``
 matches the benchmark sizes.
+
+Pass ``store=RunStore(dir)`` (CLI: ``repro report --store DIR``) and
+every plain experiment run in the report is content-addressed: runs
+already archived — by an earlier report, a sweep, or ``repro run
+--store`` — render from the store without re-executing, so a report
+over a warm archive costs only the constructions (impossibility,
+lower-bound optima) that are not plain runs.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.complexity import loglog_slope
 from repro.baselines.rendezvous import RendezvousAgent
 from repro.experiments.figures import FIGURES
 from repro.experiments.impossibility import demonstrate_impossibility
 from repro.experiments.lower_bound import quarter_sweep
-from repro.experiments.runner import run_experiment
 from repro.experiments.table1 import format_rows, symmetry_sweep
-from repro.ring.placement import random_placement
+from repro.ring.placement import Placement, random_placement
 from repro.sim.engine import Engine
+from repro.spec import ExperimentSpec
+from repro.store import RunStore, cached_run
 
 __all__ = ["ReportProfile", "PROFILES", "generate_report"]
 
@@ -39,6 +47,12 @@ class ReportProfile:
     fixed_k: int
     degrees: Tuple[int, ...]
     quarter_sizes: Tuple[Tuple[int, int], ...]
+
+
+def _run(algorithm: str, placement: Placement, store: Optional[RunStore]):
+    """One content-addressed report run (archived when a store is given)."""
+    spec = ExperimentSpec.for_placement(algorithm, placement)
+    return cached_run(spec, store)[0]
 
 
 PROFILES: Dict[str, ReportProfile] = {
@@ -63,10 +77,15 @@ PROFILES: Dict[str, ReportProfile] = {
 }
 
 
-def _table1_section(profile: ReportProfile, algorithm: str, seed: int) -> List[str]:
+def _table1_section(
+    profile: ReportProfile,
+    algorithm: str,
+    seed: int,
+    store: Optional[RunStore] = None,
+) -> List[str]:
     rng = random.Random(seed)
     results = [
-        run_experiment(algorithm, random_placement(n, profile.fixed_k, rng))
+        _run(algorithm, random_placement(n, profile.fixed_k, rng), store)
         for n in profile.n_sweep
     ]
     rows = [result.row() for result in results]
@@ -89,9 +108,11 @@ def _table1_section(profile: ReportProfile, algorithm: str, seed: int) -> List[s
     return lines
 
 
-def _adaptivity_section(profile: ReportProfile) -> List[str]:
+def _adaptivity_section(
+    profile: ReportProfile, store: Optional[RunStore] = None
+) -> List[str]:
     results = symmetry_sweep(
-        profile.fixed_n * 2, profile.fixed_k * 2, profile.degrees
+        profile.fixed_n * 2, profile.fixed_k * 2, profile.degrees, store=store
     )
     rows = [result.row() for result in results]
     slope = loglog_slope(profile.degrees, [r.total_moves for r in results])
@@ -138,12 +159,12 @@ def _impossibility_section() -> List[str]:
     ]
 
 
-def _figures_section() -> List[str]:
+def _figures_section(store: Optional[RunStore] = None) -> List[str]:
     lines = ["## Figure configurations x all algorithms", "", "```"]
     rows = []
     for name, config in sorted(FIGURES.items()):
         for algorithm in ("known_k_full", "known_k_logspace", "unknown"):
-            result = run_experiment(algorithm, config.placement)
+            result = _run(algorithm, config.placement, store)
             rows.append(
                 {
                     "figure": name,
@@ -158,7 +179,7 @@ def _figures_section() -> List[str]:
     return lines
 
 
-def _rendezvous_section() -> List[str]:
+def _rendezvous_section(store: Optional[RunStore] = None) -> List[str]:
     lines = ["## Rendezvous contrast", ""]
     for name in ("figure_1a", "figure_1b"):
         placement = FIGURES[name].placement
@@ -166,7 +187,7 @@ def _rendezvous_section() -> List[str]:
         engine = Engine(placement, agents)
         engine.run()
         gathered = len(set(engine.final_positions().values())) == 1
-        deployment = run_experiment("known_k_full", placement).ok
+        deployment = _run("known_k_full", placement, store).ok
         lines.append(
             f"- {name} (l={placement.symmetry_degree}): rendezvous "
             f"{'succeeds' if gathered else 'detects symmetry and stops'}; "
@@ -176,8 +197,17 @@ def _rendezvous_section() -> List[str]:
     return lines
 
 
-def generate_report(profile_name: str = "quick", seed: int = 0) -> str:
-    """Re-run the experiment suite and return a markdown report."""
+def generate_report(
+    profile_name: str = "quick",
+    seed: int = 0,
+    store: Optional[RunStore] = None,
+) -> str:
+    """Re-run the experiment suite and return a markdown report.
+
+    With ``store=`` given, plain experiment runs are served from the
+    content-addressed archive when present and archived when not — a
+    second report over the same store re-executes none of them.
+    """
     if profile_name not in PROFILES:
         raise KeyError(
             f"unknown profile {profile_name!r}; choose from {sorted(PROFILES)}"
@@ -193,10 +223,10 @@ def generate_report(profile_name: str = "quick", seed: int = 0) -> str:
         "",
     ]
     for algorithm in ("known_k_full", "known_n_full", "known_k_logspace", "unknown"):
-        lines.extend(_table1_section(profile, algorithm, seed))
-    lines.extend(_adaptivity_section(profile))
+        lines.extend(_table1_section(profile, algorithm, seed, store=store))
+    lines.extend(_adaptivity_section(profile, store=store))
     lines.extend(_lower_bound_section(profile))
     lines.extend(_impossibility_section())
-    lines.extend(_figures_section())
-    lines.extend(_rendezvous_section())
+    lines.extend(_figures_section(store=store))
+    lines.extend(_rendezvous_section(store=store))
     return "\n".join(lines)

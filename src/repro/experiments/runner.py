@@ -23,7 +23,18 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterator, MutableMapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    MutableMapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from repro.store.records import RunRecord
 
 from repro.analysis.verification import VerificationReport, verify_uniform_deployment
 from repro.errors import ConfigurationError
@@ -146,6 +157,46 @@ class RunResult:
             "messages": self.messages_sent,
             "uniform": self.report.ok,
         }
+
+    def to_record(self, spec: Optional[ExperimentSpec] = None) -> "RunRecord":
+        """The canonical archived form of this run (see :mod:`repro.store`).
+
+        With ``spec`` the record is content-addressed by the spec's hash
+        — the key :class:`~repro.store.jsonl.RunStore` memoises on.
+        Without one (legacy flat-file archives) the hash is derived from
+        the result payload itself, so the record is still addressable.
+        """
+        from repro.store.records import (
+            RunRecord,
+            payload_hash,
+            result_to_payload,
+        )
+
+        payload = result_to_payload(self)
+        if spec is not None:
+            if spec.algorithm != self.algorithm:
+                raise ConfigurationError(
+                    f"spec algorithm {spec.algorithm!r} does not match "
+                    f"result algorithm {self.algorithm!r}"
+                )
+            return RunRecord(
+                content_hash=spec.content_hash(),
+                result=payload,
+                spec=spec.to_dict(),
+            )
+        return RunRecord(content_hash=payload_hash(payload), result=payload)
+
+    @classmethod
+    def from_record(cls, record: "RunRecord") -> "RunResult":
+        """Rebuild the :class:`RunResult` a record archived.
+
+        Inverse of :meth:`to_record` up to the spec/env envelope: the
+        returned value equals the originally computed result (metrics,
+        final positions, verification report) field for field.
+        """
+        from repro.store.records import result_from_payload
+
+        return result_from_payload(record.result)
 
 
 def _reject_spec_overrides(caller: str, **values) -> None:

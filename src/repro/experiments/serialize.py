@@ -5,6 +5,16 @@ Sweeps take minutes at large sizes; users want to keep the numbers.
 :class:`RunResult` lists (placement, scheduler, metrics, verification)
 through plain JSON so results can be archived, diffed and re-plotted
 without re-running.
+
+Since the content-addressed run store landed (:mod:`repro.store`),
+this module is a thin *versioned wrapper* over the one canonical
+result schema — :func:`repro.store.records.result_to_payload` /
+:func:`result_from_payload`, the same converters behind
+``RunResult.to_record``/``from_record`` — rather than a second
+hand-maintained copy of it.  The flat-file format itself is unchanged
+(format version 1 files keep loading bit for bit); files written by a
+*newer* repro are rejected with an explicit error instead of being
+best-effort parsed into silently wrong results.
 """
 
 from __future__ import annotations
@@ -13,10 +23,9 @@ import json
 from pathlib import Path
 from typing import List, Sequence, Union
 
-from repro.analysis.verification import VerificationReport
 from repro.errors import ConfigurationError
 from repro.experiments.runner import RunResult
-from repro.ring.placement import Placement
+from repro.store.records import result_from_payload, result_to_payload
 
 __all__ = [
     "result_to_dict",
@@ -31,57 +40,17 @@ _FORMAT_VERSION = 1
 
 
 def result_to_dict(result: RunResult) -> dict:
-    """Flatten one RunResult into JSON-safe primitives."""
-    return {
-        "algorithm": result.algorithm,
-        "ring_size": result.placement.ring_size,
-        "homes": list(result.placement.homes),
-        "scheduler": result.scheduler,
-        "total_moves": result.total_moves,
-        "max_moves": result.max_moves,
-        "ideal_time": result.ideal_time,
-        "max_memory_bits": result.max_memory_bits,
-        "messages_sent": result.messages_sent,
-        "final_positions": list(result.final_positions),
-        "report": {
-            "ok": result.report.ok,
-            "ring_size": result.report.ring_size,
-            "agent_count": result.report.agent_count,
-            "gaps": list(result.report.gaps),
-            "failures": list(result.report.failures),
-        },
-    }
+    """Flatten one RunResult into JSON-safe primitives.
+
+    Delegates to the canonical payload schema shared with the run
+    store, so there is exactly one place the result shape is defined.
+    """
+    return result_to_payload(result)
 
 
 def result_from_dict(data: dict) -> RunResult:
     """Rebuild a RunResult from :func:`result_to_dict` output."""
-    try:
-        report_data = data["report"]
-        report = VerificationReport(
-            ok=report_data["ok"],
-            ring_size=report_data["ring_size"],
-            agent_count=report_data["agent_count"],
-            gaps=tuple(report_data["gaps"]),
-            failures=tuple(report_data["failures"]),
-        )
-        return RunResult(
-            algorithm=data["algorithm"],
-            placement=Placement(
-                ring_size=data["ring_size"], homes=tuple(data["homes"])
-            ),
-            scheduler=data["scheduler"],
-            total_moves=data["total_moves"],
-            max_moves=data["max_moves"],
-            ideal_time=data["ideal_time"],
-            max_memory_bits=data["max_memory_bits"],
-            messages_sent=data["messages_sent"],
-            report=report,
-            final_positions=tuple(data["final_positions"]),
-        )
-    except KeyError as missing:
-        raise ConfigurationError(
-            f"malformed result record: missing key {missing}"
-        ) from None
+    return result_from_payload(data)
 
 
 def results_to_json(results: Sequence[RunResult]) -> str:
@@ -94,15 +63,37 @@ def results_to_json(results: Sequence[RunResult]) -> str:
 
 
 def results_from_json(text: str) -> List[RunResult]:
-    """Parse a string produced by :func:`results_to_json`."""
+    """Parse a string produced by :func:`results_to_json`.
+
+    The format version is checked before any record is touched:
+    versions newer than this build understands raise a
+    :class:`ConfigurationError` naming both versions (upgrade to read
+    the file), and a missing or non-integer version is rejected as not
+    a results file at all.
+    """
     payload = json.loads(text)
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    version = payload.get("format_version") if isinstance(payload, dict) else None
+    if not isinstance(version, int):
+        raise ConfigurationError(
+            f"not a results file: format_version is {version!r} "
+            f"(expected an integer)"
+        )
+    if version > _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"results file uses format version {version}, but this build "
+            f"reads at most {_FORMAT_VERSION}; upgrade repro to read it"
+        )
+    if version < 1:
         raise ConfigurationError(
             f"unsupported results format version {version!r} "
             f"(expected {_FORMAT_VERSION})"
         )
-    return [result_from_dict(record) for record in payload["results"]]
+    records = payload.get("results")
+    if not isinstance(records, list):
+        raise ConfigurationError(
+            "not a results file: no 'results' list"
+        )
+    return [result_from_dict(record) for record in records]
 
 
 def save_results(results: Sequence[RunResult], path: Union[str, Path]) -> None:

@@ -12,14 +12,28 @@ module provides the deterministic plumbing:
 * :func:`cell_seed` — a stable per-cell seed derived by hashing the
   cell coordinates, so cell results never depend on sweep order,
   worker count, or which process ran them,
+* :func:`cell_row` — the one row-shaping helper: a cell plus its
+  :class:`RunResult` to the flat row every consumer sees,
 * :func:`run_cell` — one cell to one flat result row (picklable both
   ways, so it can cross a process boundary),
-* :func:`run_sweep` — the driver: a ``multiprocessing`` pool when
-  ``processes > 1``, a plain loop otherwise, identical rows either way.
+* :func:`run_sweep` / :func:`execute_sweep` — the driver: a
+  ``multiprocessing`` pool when ``processes > 1``, a plain loop
+  otherwise, identical rows either way.
 
 Determinism contract: ``run_sweep(spec, processes=1)`` and
 ``run_sweep(spec, processes=32)`` return byte-identical row lists.
 This is what lets later PRs track benchmark trajectories cell by cell.
+
+Sweeps are resumable: pass ``store=RunStore(dir)`` and every completed
+cell streams into the content-addressed archive *as workers finish*
+(the store is a checkpoint — a killed sweep loses at most the cells in
+flight).  With ``resume=True`` (the default) cells whose spec hash is
+already archived are served from the store without executing anything,
+so re-running a completed sweep costs zero simulations and overlapping
+sweeps only pay for their new cells.  :func:`rows_from_store` and
+:func:`summarize_rows` turn an archive back into canonical rows and
+aggregates without re-running — ``repro report`` can render from a
+store alone.
 """
 
 from __future__ import annotations
@@ -29,7 +43,16 @@ import json
 import multiprocessing
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ConfigurationError
 from repro.experiments.runner import RunResult, run_experiment
@@ -41,14 +64,20 @@ from repro.registry import (
 )
 from repro.sim.scheduler import Scheduler
 from repro.spec import ExperimentSpec, PlacementSpec
+from repro.store import RunRecord, RunStore
 
 __all__ = [
     "SCHEDULER_SPECS",
+    "SUMMARY_GROUP_KEYS",
     "SweepCell",
+    "SweepOutcome",
     "SweepSpec",
+    "cell_row",
     "cell_seed",
+    "execute_sweep",
     "expand_cells",
     "make_scheduler",
+    "rows_from_store",
     "run_cell",
     "run_sweep",
     "rows_to_json",
@@ -171,6 +200,18 @@ class SweepSpec:
         if self.trials < 1:
             raise ConfigurationError("trials must be >= 1")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready description of the grid (one schema, used by
+        :func:`rows_to_json` and the CLI alike)."""
+        return {
+            "algorithms": list(self.algorithms),
+            "grid": [list(pair) for pair in self.grid],
+            "schedulers": list(self.schedulers),
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "max_steps": self.max_steps,
+        }
+
 
 def expand_cells(spec: SweepSpec) -> List[SweepCell]:
     """Flatten the spec into cells in canonical (stable) order."""
@@ -204,13 +245,16 @@ def _result_for_cell(cell: SweepCell) -> RunResult:
     return run_experiment(cell.to_experiment_spec())
 
 
-def run_cell(cell: SweepCell) -> Dict[str, object]:
-    """Run one cell to quiescence and return its flat result row.
+def cell_row(cell: SweepCell, result: RunResult) -> Dict[str, object]:
+    """The canonical flat row of one completed cell.
 
-    Top-level function returning plain dicts so ``Pool.map`` can ship
-    cells out and rows back across process boundaries.
+    This is the *only* place the sweep row schema is shaped — the
+    executing path, the store-resume path and :func:`rows_from_store`
+    all call it, so cached and freshly computed rows are byte-identical
+    by construction.  ``scheduler`` reports the cell's spec name (not
+    the instance's ``describe()`` text) and the cell coordinates ride
+    along for grouping.
     """
-    result = _result_for_cell(cell)
     row = result.row()
     row["scheduler"] = cell.scheduler  # spec name, not describe() text
     row["trial"] = cell.trial
@@ -218,52 +262,228 @@ def run_cell(cell: SweepCell) -> Dict[str, object]:
     return row
 
 
+def run_cell(cell: SweepCell) -> Dict[str, object]:
+    """Run one cell to quiescence and return its flat result row.
+
+    Top-level function returning plain dicts so ``Pool.map`` can ship
+    cells out and rows back across process boundaries.
+    """
+    return cell_row(cell, _result_for_cell(cell))
+
+
+def _record_for_cell(
+    indexed_cell: Tuple[int, SweepCell]
+) -> Tuple[int, Dict[str, object]]:
+    """Pool worker: run one cell, return its archived-record dict.
+
+    Records (not rows) cross the process boundary so the parent can
+    stream them straight into the store; the row is derived afterwards
+    via :func:`cell_row`, exactly as on the cache-hit path.
+    """
+    index, cell = indexed_cell
+    spec = cell.to_experiment_spec()
+    result = run_experiment(spec)
+    return index, result.to_record(spec).to_dict()
+
+
+def _row_for_cell(
+    indexed_cell: Tuple[int, SweepCell]
+) -> Tuple[int, Dict[str, object]]:
+    """Pool worker for storeless sweeps: flat rows only, no record
+    envelope (spec dict + env fingerprint) to build, ship and re-parse."""
+    index, cell = indexed_cell
+    return index, run_cell(cell)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """What one sweep invocation did: the rows plus cache accounting."""
+
+    rows: List[Dict[str, object]]
+    total: int
+    executed: int
+    cached: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} cells: {self.executed} executed, "
+            f"{self.cached} cached"
+        )
+
+
+def execute_sweep(
+    spec: SweepSpec,
+    processes: Optional[int] = None,
+    *,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> SweepOutcome:
+    """Run ``spec`` through an optional run store; return rows + stats.
+
+    Without a store this is exactly the classic sweep.  With one:
+
+    * ``resume=True`` (default) serves every cell whose spec content
+      hash is already archived straight from the store — re-running a
+      completed sweep executes **zero** cells,
+    * every freshly executed cell is archived *as its worker finishes*
+      (``imap_unordered``), so the store is a live checkpoint: killing
+      the sweep loses at most the in-flight cells and a later
+      ``resume`` run completes the remainder losslessly,
+    * rows come back in canonical cell order regardless of which cells
+      were cached, which were computed, and in what order workers
+      finished — byte-identical to a storeless serial run.
+
+    ``progress(done, pending_total)`` is called after each *executed*
+    cell is safely archived (or completed, when storeless); a callback
+    that raises aborts the sweep without losing archived cells.
+    """
+    cells = expand_cells(spec)
+    if not cells:
+        return SweepOutcome(rows=[], total=0, executed=0, cached=0)
+    rows: List[Optional[Dict[str, object]]] = [None] * len(cells)
+    pending: List[Tuple[int, SweepCell]] = []
+    cached = 0
+    if store is not None and resume:
+        store.refresh()  # see cells other writers archived since open
+        hit_indices: List[int] = []
+        hit_hashes: List[str] = []
+        for index, cell in enumerate(cells):
+            content_hash = cell.to_experiment_spec().content_hash()
+            if store.contains(content_hash):
+                hit_indices.append(index)
+                hit_hashes.append(content_hash)
+            else:
+                pending.append((index, cell))
+        # Bulk-read the hits (one open per shard): on a fully warm
+        # resume this IS the whole sweep, so per-record opens would
+        # dominate the wall clock.
+        for index, record in zip(hit_indices, store.get_many(hit_hashes)):
+            rows[index] = cell_row(cells[index], record.to_run_result())
+        cached = len(hit_indices)
+    else:
+        pending = list(enumerate(cells))
+
+    # Storeless sweeps ship flat rows (the historical fast path); only
+    # archiving sweeps pay for the record envelope crossing the pool.
+    worker = _row_for_cell if store is None else _record_for_cell
+
+    def _complete(index: int, payload: Dict[str, object], done: int) -> None:
+        if store is None:
+            rows[index] = payload
+        else:
+            record = RunRecord.from_dict(payload)
+            # Checkpoint before anything else sees the row.  A
+            # --no-resume run recomputed this cell on purpose, so the
+            # fresh record must supersede any archived one — otherwise
+            # the printed rows and the archive silently diverge.
+            store.put(record, replace=not resume)
+            rows[index] = cell_row(cells[index], record.to_run_result())
+        if progress is not None:
+            progress(done, len(pending))
+
+    if pending:
+        if processes is None:
+            processes = multiprocessing.cpu_count()
+        processes = max(1, min(processes, len(pending)))
+        if processes == 1:
+            for done, (index, cell) in enumerate(pending, start=1):
+                _, payload = worker((index, cell))
+                _complete(index, payload, done)
+        else:
+            chunksize = max(1, len(pending) // (processes * 4))
+            with multiprocessing.Pool(processes) as pool:
+                completed = pool.imap_unordered(
+                    worker, pending, chunksize=chunksize
+                )
+                for done, (index, payload) in enumerate(completed, start=1):
+                    _complete(index, payload, done)
+    return SweepOutcome(
+        rows=rows, total=len(cells), executed=len(pending), cached=cached
+    )
+
+
 def run_sweep(
-    spec: SweepSpec, processes: Optional[int] = None
+    spec: SweepSpec,
+    processes: Optional[int] = None,
+    *,
+    store: Optional[RunStore] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[Dict[str, object]]:
     """Run every cell of ``spec``; return rows in canonical cell order.
 
     ``processes`` defaults to the machine's CPU count, capped at the
     number of cells.  With one process (or one cell) the pool is skipped
-    entirely.  ``Pool.map`` preserves input order, so the returned rows
-    are identical regardless of parallelism.
+    entirely.  Completed cells stream back as workers finish, but the
+    returned rows are identical regardless of parallelism.  ``store``/
+    ``resume``/``progress`` are forwarded to :func:`execute_sweep`
+    (which also reports cache-hit accounting).
     """
-    cells = expand_cells(spec)
-    if not cells:
-        return []
-    if processes is None:
-        processes = multiprocessing.cpu_count()
-    processes = max(1, min(processes, len(cells)))
-    if processes == 1:
-        return [run_cell(cell) for cell in cells]
-    chunksize = max(1, len(cells) // (processes * 4))
-    with multiprocessing.Pool(processes) as pool:
-        return pool.map(run_cell, cells, chunksize=chunksize)
+    return execute_sweep(
+        spec, processes, store=store, resume=resume, progress=progress
+    ).rows
+
+
+def rows_from_store(
+    store: RunStore, spec: SweepSpec, *, strict: bool = False
+) -> List[Dict[str, object]]:
+    """The canonical rows of ``spec`` served purely from an archive.
+
+    No cell is executed: rows are reconstructed (in canonical cell
+    order, byte-identical to a live sweep) for every cell whose spec
+    hash is archived.  Missing cells are skipped — or, with
+    ``strict=True``, raise a :class:`ConfigurationError` naming how
+    many are absent (use :func:`execute_sweep` to fill them in).
+    """
+    store.refresh()
+    hit_cells = []
+    hit_hashes = []
+    missing = 0
+    for cell in expand_cells(spec):
+        content_hash = cell.to_experiment_spec().content_hash()
+        if store.contains(content_hash):
+            hit_cells.append(cell)
+            hit_hashes.append(content_hash)
+        else:
+            missing += 1
+    rows = [
+        cell_row(cell, record.to_run_result())
+        for cell, record in zip(hit_cells, store.get_many(hit_hashes))
+    ]
+    if strict and missing:
+        raise ConfigurationError(
+            f"store {store.root} is missing {missing} of the sweep's "
+            f"{missing + len(rows)} cells; run execute_sweep(..., "
+            f"store=...) to fill them in"
+        )
+    return rows
+
+
+#: The coordinates one summary row aggregates over (trials collapse).
+SUMMARY_GROUP_KEYS: Tuple[str, ...] = ("algorithm", "n", "k", "scheduler")
 
 
 def summarize_rows(
     rows: Sequence[Dict[str, object]]
 ) -> List[Dict[str, object]]:
-    """Aggregate trial rows per (algorithm, n, k, scheduler) group.
+    """Aggregate trial rows per :data:`SUMMARY_GROUP_KEYS` group.
 
     Means are reported for moves/time, maxima for memory (a high-water
     measure), and ``uniform`` is the conjunction over trials.
     """
     groups: Dict[Tuple[object, ...], List[Dict[str, object]]] = {}
     for row in rows:
-        key = (row["algorithm"], row["n"], row["k"], row["scheduler"])
+        key = tuple(row[name] for name in SUMMARY_GROUP_KEYS)
         groups.setdefault(key, []).append(row)
     summary = []
-    for (algorithm, n, k, scheduler), members in groups.items():
+    for key, members in groups.items():
         trials = len(members)
         mean_moves = sum(int(m["total_moves"]) for m in members) / trials
         times = [m["ideal_time"] for m in members if m["ideal_time"] is not None]
-        summary.append(
+        entry: Dict[str, object] = dict(zip(SUMMARY_GROUP_KEYS, key))
+        entry.update(
             {
-                "algorithm": algorithm,
-                "n": n,
-                "k": k,
-                "scheduler": scheduler,
                 "trials": trials,
                 "mean_moves": round(mean_moves, 1),
                 "mean_ideal_time": (
@@ -273,6 +493,7 @@ def summarize_rows(
                 "uniform": all(bool(m["uniform"]) for m in members),
             }
         )
+        summary.append(entry)
     return summary
 
 
@@ -280,15 +501,5 @@ def rows_to_json(
     spec: SweepSpec, rows: Sequence[Dict[str, object]], indent: int = 2
 ) -> str:
     """Serialise a sweep (spec + rows) for trajectory tracking."""
-    payload = {
-        "spec": {
-            "algorithms": list(spec.algorithms),
-            "grid": [list(pair) for pair in spec.grid],
-            "schedulers": list(spec.schedulers),
-            "trials": spec.trials,
-            "base_seed": spec.base_seed,
-            "max_steps": spec.max_steps,
-        },
-        "rows": list(rows),
-    }
+    payload = {"spec": spec.to_dict(), "rows": list(rows)}
     return json.dumps(payload, indent=indent)

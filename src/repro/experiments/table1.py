@@ -14,12 +14,14 @@ import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.runner import RunResult, run_experiment
+from repro.experiments.runner import RunResult
 from repro.ring.placement import (
     Placement,
     periodic_placement,
     random_placement,
 )
+from repro.spec import ExperimentSpec
+from repro.store import RunStore, cached_run
 
 __all__ = [
     "table1_sweep",
@@ -34,14 +36,21 @@ def table1_sweep(
     grid: Sequence[Tuple[int, int]],
     seed: int = 0,
     trials: int = 1,
+    store: Optional[RunStore] = None,
 ) -> List[RunResult]:
-    """Run ``algorithm`` over random placements for every (n, k) in ``grid``."""
+    """Run ``algorithm`` over random placements for every (n, k) in ``grid``.
+
+    With ``store=`` given, each run is content-addressed: archived
+    placements are served from the store and fresh ones are archived,
+    so repeating a sweep (or overlapping grids) re-simulates nothing.
+    """
     rng = random.Random(seed)
     results = []
     for n, k in grid:
         for _ in range(trials):
             placement = random_placement(n, k, rng)
-            results.append(run_experiment(algorithm, placement))
+            spec = ExperimentSpec.for_placement(algorithm, placement)
+            results.append(cached_run(spec, store)[0])
     return results
 
 
@@ -83,12 +92,18 @@ def symmetry_sweep(
     degrees: Sequence[int],
     algorithm: str = "unknown",
     seed: int = 0,
+    store: Optional[RunStore] = None,
 ) -> List[RunResult]:
-    """Fix (n, k); measure the relaxed algorithm across symmetry degrees."""
+    """Fix (n, k); measure the relaxed algorithm across symmetry degrees.
+
+    ``store`` memoises runs by spec content hash, as in
+    :func:`table1_sweep`.
+    """
     results = []
     for degree in degrees:
         placement = symmetry_placement(ring_size, agent_count, degree, seed=seed)
-        results.append(run_experiment(algorithm, placement))
+        spec = ExperimentSpec.for_placement(algorithm, placement)
+        results.append(cached_run(spec, store)[0])
     return results
 
 

@@ -1,0 +1,37 @@
+"""Content-addressed persistence for experiment runs.
+
+PR 3 gave every experiment a frozen :class:`~repro.spec.ExperimentSpec`
+with a stable SHA-256 content hash; this package cashes that check: the
+hash keys a persistent, append-only archive of completed runs, so
+repeated and overlapping sweeps cost O(new cells) compute instead of
+O(cells).
+
+* :class:`~repro.store.records.RunRecord` — the canonical archived-run
+  schema (spec + content hash + result payload + env fingerprint +
+  schema version),
+* :class:`~repro.store.jsonl.RunStore` — the JSONL shard backend
+  (in-memory index, atomic appends safe under the sweep pool),
+* :func:`~repro.store.cache.cached_run` — spec-in, result-out
+  memoisation used by the runner, sweeps, statistics, reports and the
+  CLI.
+"""
+
+from repro.store.cache import cached_run
+from repro.store.jsonl import RunStore
+from repro.store.records import (
+    STORE_SCHEMA_VERSION,
+    RunRecord,
+    env_fingerprint,
+    result_from_payload,
+    result_to_payload,
+)
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "RunRecord",
+    "RunStore",
+    "cached_run",
+    "env_fingerprint",
+    "result_from_payload",
+    "result_to_payload",
+]

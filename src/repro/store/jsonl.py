@@ -1,0 +1,375 @@
+"""Append-only JSONL shard store for :class:`~repro.store.records.RunRecord`.
+
+Layout: a directory of ``shard-<pid>.jsonl`` files, one JSON record per
+line.  Every writer process appends **only to its own shard** (named by
+its pid), each record is written with a single ``O_APPEND`` ``write``
+call, and shards are never rewritten — three properties that together
+make the store safe under the multiprocessing sweep pool without any
+cross-process locking:
+
+* two processes never interleave bytes inside one file,
+* a single append either lands whole or (if the writer is killed
+  mid-call) leaves a torn *tail* that the next scan detects and skips —
+  committed records are never damaged,
+* readers can :meth:`RunStore.refresh` at any time and see exactly the
+  records whose writes completed.
+
+The in-memory index maps ``content_hash`` to the shard/offset of the
+record plus the small query fields (algorithm, scheduler, n, k,
+uniform), so :meth:`RunStore.query` filters millions of records without
+parsing them and :meth:`RunStore.get` reads exactly one line.  If the
+same hash appears twice the line with the newest write stamp wins, scan
+order breaking ties (that is what makes ``put(replace=True)`` durable
+across reopen, whichever shard the replacement landed in); racing
+writers only ever duplicate identical payloads — runs are deterministic
+functions of their spec — so for them the choice is immaterial.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.store.records import RunRecord
+
+__all__ = ["RunStore"]
+
+_SHARD_GLOB = "shard-*.jsonl"
+
+#: Process-wide locks, one per shard file: several RunStore handles in
+#: one process share the pid shard, so the fstat-offset/append/index
+#: sequence in put() must serialise across handles, not just within one.
+_SHARD_LOCKS: Dict[str, threading.Lock] = {}
+_SHARD_LOCKS_GUARD = threading.Lock()
+
+
+def _shard_lock(path: Path) -> threading.Lock:
+    key = os.path.realpath(path)
+    with _SHARD_LOCKS_GUARD:
+        return _SHARD_LOCKS.setdefault(key, threading.Lock())
+
+
+@dataclass
+class _IndexEntry:
+    """Where one record lives plus its cheap query fields."""
+
+    path: Path
+    offset: int
+    length: int
+    algorithm: str
+    scheduler: str
+    ring_size: int
+    agent_count: int
+    uniform: bool
+    order: int  # position in deterministic scan order
+    stamp: int  # wall-clock write stamp (envelope "_ts"), 0 if absent
+
+
+class RunStore:
+    """A content-addressed, append-only archive of experiment runs.
+
+    ``RunStore(directory)`` opens (creating if needed) a store rooted at
+    ``directory``.  The API is deliberately small:
+
+    * :meth:`put` — archive a record (no-op on duplicate hashes),
+    * :meth:`get` / :meth:`contains` / ``hash in store`` — lookup,
+    * :meth:`query` — filtered iteration without full parsing,
+    * :meth:`iter_records` — everything, in deterministic scan order,
+    * :meth:`refresh` — pick up records other processes appended since
+      the last scan.
+    """
+
+    def __init__(self, root: Union[str, Path], *, create: bool = True) -> None:
+        self.root = Path(root)
+        if not self.root.exists():
+            if not create:
+                raise ConfigurationError(f"run store {self.root} does not exist")
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise ConfigurationError(
+                f"run store path {self.root} is not a directory"
+            )
+        self._index: Dict[str, _IndexEntry] = {}
+        self._scanned: Dict[Path, int] = {}  # shard -> bytes consumed
+        self._order = 0
+        self._torn_tails = 0
+        self._corrupt_lines = 0
+        self._lock = threading.Lock()
+        self.refresh()
+
+    # -- scanning ------------------------------------------------------------
+
+    def _scan_shard(self, path: Path) -> None:
+        """Index records appended to ``path`` since the last scan."""
+        start = self._scanned.get(path, 0)
+        size = path.stat().st_size
+        if size <= start:
+            return
+        with path.open("rb") as handle:
+            handle.seek(start)
+            data = handle.read(size - start)
+        pos = 0
+        while pos < len(data):
+            newline = data.find(b"\n", pos)
+            if newline == -1:
+                # Torn tail: a writer died mid-append (or is still
+                # appending).  Leave it unconsumed; a later refresh
+                # picks the record up whole once the line terminates.
+                self._torn_tails += 1
+                break
+            raw = data[pos:newline]
+            if raw:
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError:
+                    # A torn tail that a later writer newline-terminated
+                    # (see put()).  Committed records are never affected;
+                    # count it and move on rather than wedging readers.
+                    self._corrupt_lines += 1
+                    payload = None
+                if payload is not None:
+                    self._index_line(path, start + pos, len(raw), payload)
+            pos = newline + 1
+        self._scanned[path] = start + pos
+
+    def _index_line(
+        self, path: Path, offset: int, length: int, payload: Dict[str, object]
+    ) -> None:
+        if not isinstance(payload, dict) or "content_hash" not in payload:
+            raise ConfigurationError(
+                f"corrupt run store: {path.name} record at byte {offset} "
+                f"has no content_hash"
+            )
+        content_hash = payload["content_hash"]
+        existing = self._index.get(content_hash)
+        # The *latest write* supersedes earlier ones, so put(replace=True)
+        # survives reopen even when the replacement landed in a different
+        # pid's shard: put() stamps each line with a wall-clock "_ts"
+        # envelope key, and shard scan order breaks ties.  Racing writers
+        # only ever duplicate identical payloads (runs are deterministic
+        # functions of their spec), so ties are immaterial.  The hash
+        # keeps its first-seen position so iteration order is stable.
+        stamp = int(payload.get("_ts", 0))
+        if existing is not None and stamp < existing.stamp:
+            return
+        order = existing.order if existing is not None else self._order
+        result = payload.get("result") or {}
+        spec = payload.get("spec") or {}
+        scheduler = (
+            spec.get("scheduler", {}).get("spec")
+            if isinstance(spec.get("scheduler"), dict)
+            else None
+        ) or str(result.get("scheduler", ""))
+        report = result.get("report") or {}
+        self._index[content_hash] = _IndexEntry(
+            path=path,
+            offset=offset,
+            length=length,
+            algorithm=str(result.get("algorithm", "")),
+            scheduler=scheduler,
+            ring_size=int(result.get("ring_size", 0)),
+            agent_count=len(result.get("homes", ())),
+            uniform=bool(report.get("ok", False)),
+            order=order,
+            stamp=stamp,
+        )
+        if existing is None:
+            self._order += 1
+
+    def refresh(self) -> int:
+        """Rescan shards; return how many *new* records were indexed."""
+        with self._lock:
+            before = len(self._index)
+            for path in sorted(self.root.glob(_SHARD_GLOB)):
+                self._scan_shard(path)
+            return len(self._index) - before
+
+    # -- writing -------------------------------------------------------------
+
+    def _own_shard(self) -> Path:
+        return self.root / f"shard-{os.getpid()}.jsonl"
+
+    def put(self, record: RunRecord, *, replace: bool = False) -> bool:
+        """Archive ``record``; return False when the hash is already stored.
+
+        The write is one ``O_APPEND`` call to this process's own shard,
+        so concurrent writers (other pids, other shards) can never
+        interleave with it.  ``replace=True`` appends anyway and points
+        the index at the newer copy (the old line stays on disk — the
+        store is append-only).
+        """
+        if not isinstance(record, RunRecord):
+            raise ConfigurationError(
+                f"put() expects a RunRecord, got {type(record).__name__}"
+            )
+        path = self._own_shard()
+        with self._lock, _shard_lock(path):
+            if path.exists():
+                # Index anything appended to our shard since the last
+                # scan (e.g. by another same-pid RunStore handle, or a
+                # dead predecessor that reused this pid) before deciding
+                # about duplicates — never silently skip committed bytes.
+                self._scan_shard(path)
+            if record.content_hash in self._index and not replace:
+                return False
+            payload = record.to_dict()
+            # Envelope-only write stamp: orders duplicate hashes across
+            # shards at scan time.  RunRecord.from_dict ignores it, so
+            # loaded records compare equal to the ones that were put.
+            # A replacement must outrank whatever it replaces even if
+            # the wall clock stepped backwards (NTP, skewed peers), so
+            # never stamp at or below the record being superseded.
+            existing = self._index.get(record.content_hash)
+            stamp = time.time_ns()
+            if existing is not None and stamp <= existing.stamp:
+                stamp = existing.stamp + 1
+            payload["_ts"] = stamp
+            line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            encoded = line.encode("utf-8") + b"\n"
+            fd = os.open(
+                path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                offset = os.fstat(fd).st_size
+                gap_start = self._scanned.get(path, 0)
+                if offset > gap_start:
+                    # Unscanned bytes remain: a torn tail the scan above
+                    # stopped at, or an append that raced in since.
+                    # Start our record on a fresh line either way.
+                    os.write(fd, b"\n")
+                    offset += 1
+                os.write(fd, encoded)
+            finally:
+                os.close(fd)
+            if offset == gap_start:
+                self._scanned[path] = offset + len(encoded)
+            # else: leave _scanned at the gap so the next scan re-walks
+            # it — the gap is newline-terminated now, so valid records
+            # in it get indexed and garbage is counted and skipped;
+            # re-parsing our own line is idempotent (same write stamp).
+            self._index_line(path, offset, len(encoded) - 1, payload)
+            return True
+
+    # -- reading -------------------------------------------------------------
+
+    def _load(self, entry: _IndexEntry) -> RunRecord:
+        with entry.path.open("rb") as handle:
+            handle.seek(entry.offset)
+            raw = handle.read(entry.length)
+        return RunRecord.from_dict(json.loads(raw))
+
+    def _load_many(self, entries: List[_IndexEntry]) -> List[RunRecord]:
+        """Load records with one file open per shard, not per record.
+
+        Bulk readers (:meth:`iter_records`, :meth:`query`) would
+        otherwise pay an open/seek/close cycle for every record; here
+        each shard is opened once and its matches are read in offset
+        order.  The returned list preserves the order of ``entries``.
+        """
+        raw: Dict[int, bytes] = {}
+        by_path: Dict[Path, List[_IndexEntry]] = {}
+        for entry in entries:
+            by_path.setdefault(entry.path, []).append(entry)
+        for path, group in by_path.items():
+            with path.open("rb") as handle:
+                for entry in sorted(group, key=lambda e: e.offset):
+                    handle.seek(entry.offset)
+                    raw[id(entry)] = handle.read(entry.length)
+        return [
+            RunRecord.from_dict(json.loads(raw[id(entry)])) for entry in entries
+        ]
+
+    def get(self, content_hash: str) -> RunRecord:
+        """The archived record for ``content_hash`` (KeyError when absent)."""
+        entry = self._index.get(content_hash)
+        if entry is None:
+            raise KeyError(content_hash)
+        return self._load(entry)
+
+    def get_many(self, content_hashes: List[str]) -> List[RunRecord]:
+        """The records for ``content_hashes``, in the given order.
+
+        Bulk counterpart of :meth:`get` for hot resume paths: shards
+        are opened once each instead of once per record.  Raises
+        ``KeyError`` on the first absent hash.
+        """
+        entries = []
+        for content_hash in content_hashes:
+            entry = self._index.get(content_hash)
+            if entry is None:
+                raise KeyError(content_hash)
+            entries.append(entry)
+        return self._load_many(entries)
+
+    def contains(self, content_hash: str) -> bool:
+        return content_hash in self._index
+
+    __contains__ = contains
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def hashes(self) -> List[str]:
+        """All stored content hashes in deterministic scan order."""
+        return sorted(self._index, key=lambda h: self._index[h].order)
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Every stored record, in deterministic scan order."""
+        yield from self.query()
+
+    def query(
+        self,
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        ring_size: Optional[int] = None,
+        agent_count: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+    ) -> Iterator[RunRecord]:
+        """Records matching every given filter, in scan order.
+
+        Filtering runs on the in-memory index; only matching records are
+        parsed from disk.  ``scheduler`` matches the producing spec's
+        canonical scheduler spec string (falling back to the scheduler
+        description for specless records); ``hash_prefix`` matches the
+        start of the content hash, so ``repro query --hash ab12`` works
+        like git's abbreviated object names.
+        """
+        matched = []
+        for content_hash in self.hashes():
+            entry = self._index[content_hash]
+            if algorithm is not None and entry.algorithm != algorithm:
+                continue
+            if scheduler is not None and entry.scheduler != scheduler:
+                continue
+            if ring_size is not None and entry.ring_size != ring_size:
+                continue
+            if agent_count is not None and entry.agent_count != agent_count:
+                continue
+            if uniform is not None and entry.uniform != uniform:
+                continue
+            if hash_prefix is not None and not content_hash.startswith(
+                hash_prefix
+            ):
+                continue
+            matched.append(entry)
+        # Stream in chunks: scan order is preserved, memory stays
+        # bounded by the chunk, and chunks still amortise file opens
+        # (consecutive scan-order entries mostly share a shard).
+        chunk = 1024
+        for begin in range(0, len(matched), chunk):
+            yield from self._load_many(matched[begin:begin + chunk])
+
+    def describe(self) -> str:
+        shards = len(self._scanned)
+        return (
+            f"RunStore({self.root}): {len(self._index)} records "
+            f"in {shards} shard(s)"
+        )

@@ -50,6 +50,7 @@ MODULES = [
     "repro.experiments.runner",
     "repro.experiments.serialize",
     "repro.experiments.statistics",
+    "repro.experiments.sweep",
     "repro.experiments.table1",
     "repro.ring",
     "repro.ring.configuration",
@@ -62,6 +63,10 @@ MODULES = [
     "repro.sim.metrics",
     "repro.sim.scheduler",
     "repro.sim.trace",
+    "repro.store",
+    "repro.store.cache",
+    "repro.store.jsonl",
+    "repro.store.records",
 ]
 
 
