@@ -1,0 +1,89 @@
+"""Coverage-growth analysis of fuzzing campaigns.
+
+A fuzzing campaign's health is legible from its coverage trajectory:
+healthy campaigns grow canonical-state coverage roughly linearly while
+the corpus keeps accepting novel prefixes; a *saturated* campaign has
+stopped learning — more budget buys nothing, and the instance either
+holds (at this fuzzing power) or needs a different placement or
+mutation mix.  These helpers turn the history rows a
+:class:`~repro.fuzz.fuzzer.ScheduleFuzzer` records (run counter,
+cumulative actions, coverage counters, corpus size, failures) into the
+table ``repro fuzz`` prints and a saturation verdict consumers can gate
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "coverage_growth_rows",
+    "coverage_saturation",
+    "describe_growth",
+]
+
+
+def coverage_growth_rows(
+    history: Sequence[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """History snapshots as table rows with per-snapshot novelty deltas.
+
+    ``new_states`` is the canonical-state coverage gained since the
+    previous snapshot — the column to watch: a long tail of zeros means
+    the campaign has saturated.
+    """
+    rows = []
+    previous_states = 0
+    for point in history:
+        states = int(point["states"])
+        rows.append(
+            {
+                "run": point["run"],
+                "actions": point["steps"],
+                "states": states,
+                "new_states": states - previous_states,
+                "patterns": point["patterns"],
+                "corpus": point["corpus"],
+                "failures": point["failures"],
+            }
+        )
+        previous_states = states
+    return rows
+
+
+def coverage_saturation(
+    history: Sequence[Dict[str, object]], *, window: float = 0.25
+) -> float:
+    """The fraction of total state coverage found in the trailing window.
+
+    0.0 means the last ``window`` fraction of the campaign discovered
+    nothing new (fully saturated); values near ``window`` mean coverage
+    is still growing linearly.  Returns ``window`` (i.e. "still
+    growing") when the history is too short to judge.
+    """
+    if len(history) < 3:
+        return window
+    total = int(history[-1]["states"])
+    if total <= 0:
+        return 0.0
+    cut = max(0, len(history) - max(1, int(len(history) * window)) - 1)
+    late_gain = total - int(history[cut]["states"])
+    return late_gain / total
+
+
+def describe_growth(history: Sequence[Dict[str, object]]) -> str:
+    """One-line coverage verdict for CLI summaries."""
+    if not history:
+        return "coverage growth: (no history)"
+    saturation = coverage_saturation(history)
+    if saturation < 0.02:
+        verdict = "saturated (more budget is unlikely to help)"
+    elif saturation < 0.10:
+        verdict = "slowing"
+    else:
+        verdict = "still growing"
+    return (
+        f"coverage growth: {int(history[-1]['states'])} states after "
+        f"{history[-1]['run']} runs, trailing-window gain "
+        f"{saturation:.0%} -> {verdict}"
+    )

@@ -23,6 +23,10 @@ Commands:
 * ``timeline``      — ASCII space-time diagram of one run,
 * ``mc``            — exhaustive interleaving model checking with
   replayable counterexample schedules,
+* ``fuzz``          — coverage-guided schedule fuzzing on instances the
+  checker cannot exhaust: mutated activation schedules, online property
+  oracles, delta-debugged minimal counterexamples archived as failure
+  artifacts,
 * ``report``        — re-run the experiment suite, emit markdown
   (``--store DIR`` renders archived runs without re-executing).
 
@@ -294,10 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     psweep_parser.add_argument(
-        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        "--resume", action=argparse.BooleanOptionalAction, default=None,
         help=(
             "with --store: skip cells whose spec hash is already archived "
-            "(--no-resume recomputes everything)"
+            "(the default; --no-resume recomputes everything).  Requires "
+            "--store either way."
         ),
     )
 
@@ -422,6 +427,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="print exploration counters to stderr while searching",
     )
 
+    fuzz_parser = commands.add_parser(
+        "fuzz",
+        help="coverage-guided schedule fuzzing with shrinking",
+        description=(
+            "Search the schedule space of instances the exhaustive checker "
+            "cannot enumerate: execute mutated activation schedules, keep "
+            "the ones reaching novel canonical states or enabled-set "
+            "patterns as a corpus, check the model checker's property "
+            "oracles at every atomic action, and delta-debug any violation "
+            "to a minimal schedule that replays deterministically "
+            "(archived as a failure artifact when --store is given).  "
+            "Exit code 1 means a violation was found."
+        ),
+    )
+    fuzz_parser.add_argument(
+        "--algorithm",
+        default="known_k_full",
+        choices=algorithm_names(include_selftest=True),
+        help="registered algorithm (wake_race is the broken self-test agent)",
+    )
+    fuzz_parser.add_argument("--n", type=int, default=16, help="ring size")
+    fuzz_parser.add_argument("--k", type=int, default=4, help="agent count")
+    fuzz_parser.add_argument(
+        "--distances",
+        type=_parse_ints,
+        default=None,
+        help="fuzz one explicit configuration instead of random placements",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_parser.add_argument(
+        "--budget", type=int, default=1000,
+        help="total schedule executions (adversary seed runs included)",
+    )
+    fuzz_parser.add_argument(
+        "--max-steps", type=int, default=None,
+        help="per-run atomic-action cap (default: derived from n and k)",
+    )
+    fuzz_parser.add_argument(
+        "--placements", type=int, default=4,
+        help="distinct random placements to fuzz (ignored with --distances)",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", type=int, default=64,
+        help="max retained coverage-novel schedule prefixes",
+    )
+    fuzz_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; the budget is sharded across them",
+    )
+    fuzz_parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="run a serialized FuzzSpec (other campaign flags ignored)",
+    )
+    fuzz_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "run store directory; failures are archived under "
+            "failures/<spec-hash>.json keyed by the triggering "
+            "ExperimentSpec content hash"
+        ),
+    )
+    fuzz_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the campaign outcome (failures included) as JSON",
+    )
+    fuzz_parser.add_argument(
+        "--keep-going", action="store_true",
+        help="spend the whole budget instead of stopping at the first failure",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging (archive the raw violating schedule)",
+    )
+    fuzz_parser.add_argument(
+        "--progress", action="store_true",
+        help=(
+            "print per-run coverage counters to stderr while fuzzing "
+            "(single-job campaigns only)"
+        ),
+    )
+
     return parser
 
 
@@ -539,6 +625,12 @@ def _command_psweep(args: argparse.Namespace) -> int:
         summarize_rows,
     )
 
+    if args.resume is not None and not args.store:
+        raise ReproError(
+            "--resume/--no-resume controls how archived cells are reused "
+            "and therefore requires --store DIR"
+        )
+    resume = True if args.resume is None else args.resume
     spec = SweepSpec(
         algorithms=tuple(
             name.strip() for name in args.algorithms.split(",") if name.strip()
@@ -554,7 +646,7 @@ def _command_psweep(args: argparse.Namespace) -> int:
 
         store = RunStore(args.store)
     outcome = execute_sweep(
-        spec, processes=args.jobs, store=store, resume=args.resume
+        spec, processes=args.jobs, store=store, resume=resume
     )
     rows = outcome.rows
     print(f"{len(rows)} cells "
@@ -734,6 +826,102 @@ def _command_mc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.analysis.fuzzing import coverage_growth_rows, describe_growth
+    from repro.fuzz import FuzzSpec, fuzz_parallel
+
+    if args.spec:
+        spec = FuzzSpec.load(args.spec)
+    else:
+        if args.distances:
+            placement = PlacementSpec(
+                kind="distances", distances=tuple(args.distances)
+            )
+            placements = 1
+        else:
+            placement = PlacementSpec(
+                kind="random", ring_size=args.n, agent_count=args.k,
+                seed=args.seed,
+            )
+            placements = args.placements
+        spec = FuzzSpec(
+            algorithm=args.algorithm,
+            placement=placement,
+            budget=args.budget,
+            max_steps=args.max_steps,
+            seed=args.seed,
+            placements=placements,
+            corpus_size=args.corpus,
+        )
+    progress = None
+    if args.progress:
+        progress = lambda run, budget, coverage: print(  # noqa: E731
+            f"  ... run {run}/{budget}: {coverage}", file=sys.stderr
+        )
+    print(
+        f"fuzzing {spec.algorithm} ({spec.placements} placement(s), "
+        f"budget {spec.budget} runs, campaign {spec.content_hash()[:16]})"
+    )
+    if args.jobs > 1:
+        if args.progress:
+            print(
+                "note: --progress and the coverage-growth table are "
+                "per-campaign views; with --jobs > 1 the budget is "
+                "sharded into independent campaigns, so neither is shown",
+                file=sys.stderr,
+            )
+        outcome = fuzz_parallel(
+            spec, args.jobs, keep_going=args.keep_going,
+            shrink=not args.no_shrink,
+        )
+    else:
+        from repro.fuzz import ScheduleFuzzer
+
+        outcome = ScheduleFuzzer(
+            spec, keep_going=args.keep_going, shrink=not args.no_shrink,
+            progress=progress,
+        ).run()
+    print(outcome.describe())
+    if outcome.history:
+        print()
+        print(format_rows(coverage_growth_rows(outcome.history)))
+        print()
+        print(describe_growth(outcome.history))
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "runs": outcome.runs,
+            "steps": outcome.steps,
+            "states": outcome.states,
+            "patterns": outcome.patterns,
+            "corpus_size": outcome.corpus_size,
+            "complete": outcome.complete,
+            "history": list(outcome.history),
+            "failures": [failure.to_dict() for failure in outcome.failures],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.store:
+        from repro.store import RunStore
+
+        archive = RunStore(args.store).failures
+        for failure in outcome.failures:
+            path = archive.put(failure.content_hash, failure.to_dict())
+            print(f"archived failure {failure.content_hash[:16]} -> {path}")
+    if outcome.failures:
+        print(f"\n{len(outcome.failures)} FAILURE(S):")
+        for failure in outcome.failures:
+            print(f"  {failure.describe()}")
+            print(f"  replay: {failure.replay_line()}")
+        return 1
+    print(
+        "\nno violations: every fuzzed schedule deployed uniformly "
+        f"({outcome.runs} runs, {outcome.steps} atomic actions)"
+    )
+    return 0
+
+
 def _command_query(args: argparse.Namespace) -> int:
     from repro.store import RunStore
 
@@ -748,6 +936,17 @@ def _command_query(args: argparse.Namespace) -> int:
             hash_prefix=args.hash,
         )
     )
+    if args.hash and len(records) > 1:
+        # An abbreviated hash is a *prefix*, like git's short object
+        # names: when it (together with the other filters) matches
+        # several records, say so and list every match rather than
+        # silently picking one.  The note goes to stderr so --json
+        # output stays machine-readable.
+        print(
+            f"hash prefix {args.hash!r} is ambiguous: {len(records)} "
+            "archived runs match; listing all of them",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     if args.json:
         print(json.dumps([record.to_dict() for record in records], indent=2))
         return 0
@@ -800,6 +999,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lower-bound": _command_lower_bound,
         "timeline": _command_timeline,
         "mc": _command_mc,
+        "fuzz": _command_fuzz,
         "compare": _command_compare,
         "report": _command_report,
     }

@@ -1,0 +1,50 @@
+"""Coverage-guided schedule fuzzing: the middle rung of verification.
+
+``repro.mc`` proves the paper's claims exhaustively on tiny instances;
+tier-1 tests sample a few fixed adversaries on large ones.  This
+package searches the vast middle — instances far beyond exhaustion,
+schedules far beyond any fixed adversary — by mutating activation
+schedules under coverage guidance and checking the model checker's
+property oracles online at every atomic action.
+
+* :class:`~repro.fuzz.spec.FuzzSpec` — the serializable campaign
+  description (content-addressed like an ExperimentSpec),
+* :class:`~repro.fuzz.fuzzer.ScheduleFuzzer` / :func:`~repro.fuzz.fuzzer.fuzz`
+  / :func:`~repro.fuzz.fuzzer.fuzz_parallel` — the campaign driver,
+* :class:`~repro.fuzz.coverage.CoverageMap` — canonical-state and
+  enabled-pattern novelty tracking,
+* :class:`~repro.fuzz.corpus.Corpus` — retained coverage-novel
+  schedule prefixes,
+* :mod:`~repro.fuzz.mutate` — the schedule mutation operators,
+* :class:`~repro.fuzz.failure.FailureCase` — a shrunk, verified,
+  replayable violation artifact (archived via
+  :class:`~repro.store.failures.FailureArchive`).
+
+CLI: ``repro fuzz --algorithm wake_race --n 16 --k 4``.
+"""
+
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.coverage import CoverageMap, coverage_key, enabled_pattern
+from repro.fuzz.failure import FailureCase
+from repro.fuzz.fuzzer import FuzzOutcome, ScheduleFuzzer, fuzz, fuzz_parallel
+from repro.fuzz.mutate import MUTATION_OPS, mutate_schedule, random_schedule, splice
+from repro.fuzz.spec import FuzzSpec, replay_spec_string
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "CoverageMap",
+    "FailureCase",
+    "FuzzOutcome",
+    "FuzzSpec",
+    "MUTATION_OPS",
+    "ScheduleFuzzer",
+    "coverage_key",
+    "enabled_pattern",
+    "fuzz",
+    "fuzz_parallel",
+    "mutate_schedule",
+    "random_schedule",
+    "replay_spec_string",
+    "splice",
+]

@@ -1,0 +1,80 @@
+"""The corpus: coverage-novel schedule prefixes worth mutating again.
+
+Every run that reaches novel coverage donates its *executed* activation
+log, truncated at the last novel step, as a :class:`CorpusEntry`.
+Executed logs are concrete (every random tail choice resolved to an
+agent id), so replaying an entry's schedule on its placement
+deterministically re-reaches the novel region — mutation then explores
+outward from deep, interesting states instead of always from the
+initial configuration.
+
+The corpus is bounded: when full, the entry with the least coverage
+gain (oldest first on ties) is evicted, keeping the high-yield seeds.
+Selection is uniform over entries via the caller's RNG — with the
+deterministic driver RNG this makes whole campaigns reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["CorpusEntry", "Corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One retained schedule prefix and its discovery accounting."""
+
+    placement_index: int
+    schedule: Tuple[int, ...]
+    gain: int  # coverage novelty the donating run scored
+    run_index: int  # when it was added (campaign run counter)
+
+
+class Corpus:
+    """A bounded, gain-ranked pool of coverage-novel schedule prefixes."""
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 2:
+            raise ValueError("corpus max_size must be >= 2")
+        self._max_size = max_size
+        self._entries: List[CorpusEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[CorpusEntry, ...]:
+        return tuple(self._entries)
+
+    def add(self, entry: CorpusEntry) -> None:
+        """Insert ``entry``, evicting the weakest entry when full."""
+        self._entries.append(entry)
+        if len(self._entries) > self._max_size:
+            weakest = min(
+                range(len(self._entries)),
+                key=lambda i: (self._entries[i].gain, self._entries[i].run_index),
+            )
+            del self._entries[weakest]
+
+    def pick(self, rng: random.Random) -> Optional[CorpusEntry]:
+        """A uniformly random entry (None when empty)."""
+        if not self._entries:
+            return None
+        return rng.choice(self._entries)
+
+    def pick_pair(
+        self, rng: random.Random
+    ) -> Optional[Tuple[CorpusEntry, CorpusEntry]]:
+        """Two entries sharing a placement, for splicing (None if impossible)."""
+        first = self.pick(rng)
+        if first is None:
+            return None
+        mates = [
+            entry
+            for entry in self._entries
+            if entry.placement_index == first.placement_index
+        ]
+        return first, rng.choice(mates)

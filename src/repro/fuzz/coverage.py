@@ -1,0 +1,126 @@
+"""Coverage signals: which executions taught the fuzzer something new.
+
+Two complementary feature maps, both observed after every executed
+atomic action:
+
+* **canonical state coverage** — the rotation- and relabelling-
+  invariant :meth:`~repro.ring.configuration.Configuration.canonical`
+  form of the global state, the same key the exhaustive checker
+  memoises on.  A run that reaches a canonical state no previous run
+  reached has, by definition, explored schedule-space the campaign had
+  never seen.
+* **enabled-pattern coverage** — a coarse abstraction of the
+  *scheduling surface*: the sorted multiset of per-agent statuses
+  (active / queued / queue-head / suspended / woken / halted) plus the
+  enabled count.  Orders of magnitude fewer distinct values than
+  canonical states, so it saturates early and then flags only
+  structurally new scheduling situations (e.g. "two woken followers at
+  once" — the wake-race shape).
+
+Keys are stored as 64-bit BLAKE2b digests of the feature ``repr``:
+stable across processes and interpreter runs (unlike builtin ``hash``
+under ``PYTHONHASHSEED``), so parallel shards can merge their maps and
+deterministic campaigns stay deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable, List, Set, Tuple
+
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ring.configuration import Configuration
+
+__all__ = ["CoverageMap", "enabled_pattern", "coverage_key"]
+
+
+def coverage_key(feature: object) -> int:
+    """A stable 64-bit key for one feature value (process-independent)."""
+    digest = hashlib.blake2b(repr(feature).encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def enabled_pattern(engine: Engine) -> Tuple[Tuple[str, ...], int]:
+    """The scheduling-surface abstraction of the current engine state.
+
+    Per agent, one status letter — ``A`` active-staying, ``Q`` head of a
+    link queue, ``q`` queued behind the head, ``S`` suspended (asleep),
+    ``W`` suspended but woken (message pending, enabled), ``H`` halted —
+    sorted so the pattern is agent-relabelling-invariant, plus the
+    enabled count.
+    """
+    enabled = set(engine.enabled_agents())
+    statuses: List[str] = []
+    ring = engine.ring
+    for agent_id in engine.agent_ids:
+        agent = engine.agent(agent_id)
+        if agent.halted:
+            statuses.append("H")
+            continue
+        kind, node = ring.locate(agent_id)
+        if kind == "queue":
+            statuses.append("Q" if ring.queue_head(node) == agent_id else "q")
+        elif agent.suspended:
+            statuses.append("W" if agent_id in enabled else "S")
+        else:
+            statuses.append("A")
+    return (tuple(sorted(statuses)), len(enabled))
+
+
+class CoverageMap:
+    """The campaign-global record of everything any run has reached."""
+
+    def __init__(self) -> None:
+        self._states: Set[int] = set()
+        self._patterns: Set[int] = set()
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, engine: Engine, snapshot: "Configuration" = None) -> int:
+        """Record the engine's current state; return the novelty gain.
+
+        Gain counts how many of the two feature maps saw a new key
+        (0, 1 or 2) — any positive gain marks the step as novel.
+        Pass the ``snapshot`` the caller already built for its property
+        checks to avoid rebuilding it (the fuzzer's hot loop does).
+        """
+        gain = 0
+        if snapshot is None:
+            snapshot = engine.snapshot()
+        state_key = coverage_key(snapshot.canonical())
+        if state_key not in self._states:
+            self._states.add(state_key)
+            gain += 1
+        pattern_key = coverage_key(enabled_pattern(engine))
+        if pattern_key not in self._patterns:
+            self._patterns.add(pattern_key)
+            gain += 1
+        return gain
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def states(self) -> int:
+        """Distinct canonical configurations reached so far."""
+        return len(self._states)
+
+    @property
+    def patterns(self) -> int:
+        """Distinct enabled-set patterns reached so far."""
+        return len(self._patterns)
+
+    def merge_keys(
+        self, state_keys: Iterable[int], pattern_keys: Iterable[int]
+    ) -> None:
+        """Union another map's raw keys in (parallel-shard merging)."""
+        self._states.update(state_keys)
+        self._patterns.update(pattern_keys)
+
+    def export_keys(self) -> Tuple[List[int], List[int]]:
+        """The raw key sets, sorted (picklable, mergeable, deterministic)."""
+        return sorted(self._states), sorted(self._patterns)
+
+    def describe(self) -> str:
+        return f"{self.states} canonical states, {self.patterns} enabled patterns"

@@ -1,0 +1,123 @@
+"""Failure artifacts: one fuzzer-found violation, fully replayable.
+
+A :class:`FailureCase` records everything needed to reproduce and file
+a schedule-dependent bug without any fuzzing machinery in the loop:
+
+* the instance (algorithm, ring size, homes),
+* the defect (kind, property name, message — the same vocabulary the
+  exhaustive checker's :class:`~repro.mc.checker.Counterexample` uses),
+* the full violating schedule the fuzzer executed *and* its
+  delta-debugged minimal form,
+* the **triggering experiment spec** — an
+  :class:`~repro.spec.ExperimentSpec` whose scheduler is the
+  ``replay:log=...`` string of the shrunk schedule, so ``repro run
+  --spec`` replays the violation deterministically.  The spec's SHA-256
+  content hash is the artifact's identity and its key in the
+  :class:`~repro.store.failures.FailureArchive`.
+
+``replay_verified`` records that the fuzzer re-executed the shrunk
+schedule from a *fresh* engine (and, for terminal violations, through
+the stock :func:`~repro.experiments.runner.run_experiment` path with a
+real :class:`~repro.sim.scheduler.ReplayScheduler`) and observed the
+same defect — archived failures are never speculative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FailureCase"]
+
+
+@dataclass(frozen=True)
+class FailureCase:
+    """One verified, minimised, replayable property violation."""
+
+    algorithm: str
+    ring_size: int
+    homes: Tuple[int, ...]
+    kind: str
+    property_name: str
+    message: str
+    schedule: Tuple[int, ...]
+    shrunk: Tuple[int, ...]
+    spec: Dict[str, object]
+    content_hash: str
+    fuzz_spec_hash: str
+    run_index: int
+    replay_verified: bool
+
+    def experiment_spec(self):
+        """The triggering :class:`~repro.spec.ExperimentSpec` (buildable)."""
+        from repro.spec import ExperimentSpec
+
+        return ExperimentSpec.from_dict(self.spec)
+
+    def describe(self) -> str:
+        shrunk = "shrunk" if self.shrunk != self.schedule else "unshrunk"
+        return (
+            f"[{self.kind}:{self.property_name}] {self.message} | "
+            f"n={self.ring_size} homes={self.homes} | "
+            f"schedule {len(self.schedule)} -> {len(self.shrunk)} actions "
+            f"({shrunk}, replay "
+            f"{'verified' if self.replay_verified else 'UNVERIFIED'})"
+        )
+
+    def replay_line(self) -> str:
+        """A one-line reproduction recipe for bug reports and tests."""
+        return (
+            f"ReplayScheduler({list(self.shrunk)}) on "
+            f"Placement(ring_size={self.ring_size}, homes={self.homes}) "
+            f"with {self.algorithm!r}"
+        )
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (the archived artifact payload)."""
+        return {
+            "algorithm": self.algorithm,
+            "ring_size": self.ring_size,
+            "homes": list(self.homes),
+            "kind": self.kind,
+            "property_name": self.property_name,
+            "message": self.message,
+            "schedule": list(self.schedule),
+            "shrunk": list(self.shrunk),
+            "spec": self.spec,
+            "content_hash": self.content_hash,
+            "fuzz_spec_hash": self.fuzz_spec_hash,
+            "run_index": self.run_index,
+            "replay_verified": self.replay_verified,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FailureCase":
+        """Inverse of :meth:`to_dict` (missing keys rejected loudly)."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"failure case must be a dict, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                algorithm=data["algorithm"],
+                ring_size=int(data["ring_size"]),
+                homes=tuple(int(h) for h in data["homes"]),
+                kind=data["kind"],
+                property_name=data["property_name"],
+                message=data["message"],
+                schedule=tuple(int(a) for a in data["schedule"]),
+                shrunk=tuple(int(a) for a in data["shrunk"]),
+                spec=data["spec"],
+                content_hash=data["content_hash"],
+                fuzz_spec_hash=data["fuzz_spec_hash"],
+                run_index=int(data["run_index"]),
+                replay_verified=bool(data["replay_verified"]),
+            )
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"failure case is missing required key {missing}"
+            ) from None

@@ -1,0 +1,168 @@
+"""Schedule mutation operators (the fuzzer's input grammar).
+
+A fuzz input's schedule is a plain agent-id sequence executed with
+skip-disabled semantics (disabled entries are dropped, and a random
+enabled agent fills in once the sequence is exhausted), so *every*
+mutated sequence is a valid input — mutations can never produce an
+unexecutable schedule, only a differently-shaped one.
+
+The operators target the schedule families concurrency bugs hide in:
+
+* ``truncate`` / ``delete_window`` / ``extend`` — vary how far the
+  recorded prefix is followed before randomness takes over,
+* ``stutter`` / ``burst`` — one agent runs many times in a row (the
+  fast-agent family behind the overtaking analyses),
+* ``starve`` — all occurrences of one agent are removed from a window,
+  delaying it arbitrarily within fairness (the laggard family; the
+  wake-race class of defect lives exactly here),
+* ``swap`` / ``rotate_window`` / ``replace`` — local reorderings and
+  fresh material,
+* :func:`splice` — crossover between two corpus schedules.
+
+All operators are pure functions of ``(rng, schedule, agents)``; with a
+seeded RNG the whole mutation pipeline is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = ["MUTATION_OPS", "mutate_schedule", "splice", "random_schedule"]
+
+#: Hard ceiling on mutated schedule length; the executor's step cap is
+#: the real bound, this only stops unbounded growth across generations.
+_MAX_LENGTH = 8192
+
+Mutation = Callable[[random.Random, List[int], Sequence[int]], List[int]]
+
+
+def _window(rng: random.Random, length: int) -> Tuple[int, int]:
+    """A random non-empty [start, end) window inside ``length`` items."""
+    start = rng.randrange(length)
+    end = min(length, start + 1 + rng.randrange(1, max(2, length // 2)))
+    return start, end
+
+
+def random_schedule(
+    rng: random.Random, agents: Sequence[int], length: int
+) -> List[int]:
+    """A fresh uniformly random schedule of ``length`` entries."""
+    return [rng.choice(agents) for _ in range(length)]
+
+
+def op_truncate(rng, schedule, agents):
+    if not schedule:
+        return list(schedule)
+    return schedule[: rng.randrange(len(schedule))]
+
+
+def op_extend(rng, schedule, agents):
+    tail = random_schedule(rng, agents, 1 + rng.randrange(2 * len(agents) + 8))
+    return schedule + tail
+
+
+def op_delete_window(rng, schedule, agents):
+    if not schedule:
+        return list(schedule)
+    start, end = _window(rng, len(schedule))
+    return schedule[:start] + schedule[end:]
+
+
+def op_stutter(rng, schedule, agents):
+    if not schedule:
+        return list(schedule)
+    start, end = _window(rng, len(schedule))
+    repeats = 2 + rng.randrange(3)
+    return schedule[:start] + schedule[start:end] * repeats + schedule[end:]
+
+
+def op_swap(rng, schedule, agents):
+    if len(schedule) < 2:
+        return list(schedule)
+    out = list(schedule)
+    i = rng.randrange(len(out))
+    j = rng.randrange(len(out))
+    out[i], out[j] = out[j], out[i]
+    return out
+
+
+def op_replace_window(rng, schedule, agents):
+    if not schedule:
+        return list(schedule)
+    start, end = _window(rng, len(schedule))
+    return (
+        schedule[:start]
+        + random_schedule(rng, agents, end - start)
+        + schedule[end:]
+    )
+
+
+def op_starve(rng, schedule, agents):
+    """Remove every occurrence of one agent from a window (delay it)."""
+    if not schedule:
+        return list(schedule)
+    victim = rng.choice(agents)
+    start, end = _window(rng, len(schedule))
+    kept = [agent for agent in schedule[start:end] if agent != victim]
+    return schedule[:start] + kept + schedule[end:]
+
+
+def op_burst(rng, schedule, agents):
+    """Insert a long exclusive burst of one agent at a random point."""
+    runner = rng.choice(agents)
+    burst = [runner] * (2 + rng.randrange(3 * len(agents) + 8))
+    at = rng.randrange(len(schedule) + 1)
+    return schedule[:at] + burst + schedule[at:]
+
+
+def op_rotate_window(rng, schedule, agents):
+    """Move a window somewhere else (reorder without losing entries)."""
+    if len(schedule) < 2:
+        return list(schedule)
+    start, end = _window(rng, len(schedule))
+    window = schedule[start:end]
+    rest = schedule[:start] + schedule[end:]
+    at = rng.randrange(len(rest) + 1)
+    return rest[:at] + window + rest[at:]
+
+
+#: The operator pool; starvation and bursts are over-represented because
+#: activation-order races are the target bug class.
+MUTATION_OPS: Tuple[Mutation, ...] = (
+    op_truncate,
+    op_extend,
+    op_delete_window,
+    op_stutter,
+    op_swap,
+    op_replace_window,
+    op_starve,
+    op_starve,
+    op_burst,
+    op_burst,
+    op_rotate_window,
+)
+
+
+def mutate_schedule(
+    rng: random.Random,
+    schedule: Sequence[int],
+    agents: Sequence[int],
+    max_ops: int = 3,
+) -> Tuple[int, ...]:
+    """Apply 1..``max_ops`` randomly chosen operators to ``schedule``."""
+    current = list(schedule)
+    for _ in range(1 + rng.randrange(max(1, max_ops))):
+        current = rng.choice(MUTATION_OPS)(rng, current, agents)
+        if len(current) > _MAX_LENGTH:
+            current = current[:_MAX_LENGTH]
+    return tuple(current)
+
+
+def splice(
+    rng: random.Random, first: Sequence[int], second: Sequence[int]
+) -> Tuple[int, ...]:
+    """Crossover: a prefix of ``first`` followed by a suffix of ``second``."""
+    cut_a = rng.randrange(len(first) + 1)
+    cut_b = rng.randrange(len(second) + 1)
+    return tuple(first[:cut_a]) + tuple(second[cut_b:])

@@ -1,0 +1,250 @@
+"""The declarative, serializable fuzzing-campaign description.
+
+One :class:`FuzzSpec` is everything the fuzzer needs to reproduce a
+campaign bit for bit: the algorithm under test, the placement family,
+the execution budget and the mutation/corpus parameters.  It mirrors
+:class:`repro.spec.ExperimentSpec` deliberately — lossless
+``to_dict``/``from_dict``/JSON round trips, a stable SHA-256
+``content_hash`` and hash-derived seeds — so campaigns are
+content-addressable exactly like experiments, and ``repro fuzz --spec
+file.json`` reruns one identically anywhere.
+
+A campaign over a ``random`` placement spec fuzzes ``placements``
+distinct placements (their seeds derived from the campaign seed), so
+the input space is *(placement, schedule)* pairs; explicit placement
+kinds (``distances``, ``homes``, ...) pin a single configuration and
+force ``placements == 1``.
+
+:meth:`FuzzSpec.experiment_spec` maps a concrete failing ``(placement,
+schedule)`` pair back into the one experiment vocabulary: an
+:class:`~repro.spec.ExperimentSpec` whose scheduler is the
+``replay:log=...`` spec string.  That spec's content hash keys the
+archived :class:`~repro.fuzz.failure.FailureCase`, and ``repro run
+--spec`` on it reproduces the violation with no fuzzing machinery in
+the loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.registry import get_algorithm
+from repro.ring.placement import Placement
+from repro.spec import ExperimentSpec, PlacementSpec
+
+__all__ = ["FuzzSpec", "replay_spec_string"]
+
+
+def replay_spec_string(schedule: Sequence[int]) -> str:
+    """The ``replay:log=...`` scheduler spec string of a schedule."""
+    if not schedule:
+        return "replay"
+    return "replay:log=" + "-".join(str(agent) for agent in schedule)
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """One fuzzing campaign, fully described and JSON-serialisable.
+
+    ``budget`` counts *runs* (schedule executions, including the
+    adversary-seeded corpus runs); ``max_steps`` caps the atomic
+    actions of one run (``None`` derives a generous default from the
+    instance size).  ``placements`` is the number of distinct initial
+    configurations fuzzed when the placement spec is ``random``;
+    ``corpus_size`` caps the retained coverage-novel schedule prefixes
+    and ``mutations`` the number of stacked mutation operators applied
+    per derived input.
+    """
+
+    algorithm: str
+    placement: PlacementSpec
+    budget: int = 1000
+    max_steps: Optional[int] = None
+    seed: int = 0
+    placements: int = 4
+    corpus_size: int = 64
+    mutations: int = 3
+
+    def __post_init__(self) -> None:
+        get_algorithm(self.algorithm)  # raises on unknown names
+        if not isinstance(self.placement, PlacementSpec):
+            raise ConfigurationError(
+                "placement must be a PlacementSpec, got "
+                f"{type(self.placement).__name__}"
+            )
+        if self.budget < 1:
+            raise ConfigurationError("fuzz budget must be >= 1 run")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ConfigurationError("max_steps must be >= 1 when given")
+        if self.placements < 1:
+            raise ConfigurationError("placements must be >= 1")
+        if self.placement.kind != "random" and self.placements != 1:
+            raise ConfigurationError(
+                f"placement kind {self.placement.kind!r} pins one "
+                "configuration; placements must be 1"
+            )
+        if self.corpus_size < 2:
+            raise ConfigurationError("corpus_size must be >= 2")
+        if self.mutations < 1:
+            raise ConfigurationError("mutations must be >= 1")
+
+    # -- construction helpers ------------------------------------------------
+
+    def with_options(self, **changes) -> "FuzzSpec":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)
+
+    # -- materialisation -----------------------------------------------------
+
+    def build_placement(self, index: int) -> Placement:
+        """The concrete placement of variant ``index`` (< ``placements``).
+
+        Random placement specs re-seed per variant from the campaign
+        seed; pinned kinds return the same placement for every index.
+        """
+        if not 0 <= index < self.placements:
+            raise ConfigurationError(
+                f"placement index {index} out of range [0, {self.placements})"
+            )
+        if self.placement.kind == "random":
+            return PlacementSpec(
+                kind="random",
+                ring_size=self.placement.ring_size,
+                agent_count=self.placement.agent_count,
+                seed=self.derive_seed(f"placement|{index}"),
+            ).build()
+        return self.placement.build()
+
+    def run_step_cap(self, placement: Placement) -> int:
+        """The per-run atomic-action cap (explicit or size-derived)."""
+        if self.max_steps is not None:
+            return self.max_steps
+        return max(512, 16 * placement.ring_size * placement.agent_count)
+
+    def experiment_spec(
+        self, placement: Placement, schedule: Sequence[int]
+    ) -> ExperimentSpec:
+        """The experiment a concrete ``(placement, schedule)`` pair denotes.
+
+        The scheduler is the exact ``replay:log=...`` spec string, so
+        running the returned spec replays the schedule deterministically
+        (disabled entries skipped, lowest-id fallback after the log) —
+        the triggering spec whose content hash keys archived failures.
+        """
+        return ExperimentSpec(
+            algorithm=self.algorithm,
+            placement=PlacementSpec.from_placement(placement),
+            scheduler=replay_spec_string(schedule),
+        )
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-ready form (sections mirror ExperimentSpec)."""
+        return {
+            "algorithm": self.algorithm,
+            "placement": self.placement.to_dict(),
+            "budget": {"runs": self.budget, "max_steps": self.max_steps},
+            "mutation": {
+                "seed": self.seed,
+                "placements": self.placements,
+                "corpus_size": self.corpus_size,
+                "mutations": self.mutations,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzSpec":
+        """Inverse of :meth:`to_dict`; missing sections take the defaults."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"fuzz spec must be a dict, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"algorithm", "placement", "budget", "mutation"}
+        if unknown:
+            raise ConfigurationError(
+                f"fuzz spec has unknown keys {sorted(unknown)}"
+            )
+        try:
+            algorithm = data["algorithm"]
+            placement = PlacementSpec.from_dict(data["placement"])
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"fuzz spec is missing required key {missing}"
+            ) from None
+        budget = data.get("budget", {})
+        mutation = data.get("mutation", {})
+        for section_name, section in (("budget", budget), ("mutation", mutation)):
+            if not isinstance(section, dict):
+                raise ConfigurationError(
+                    f"fuzz spec section {section_name!r} must be a dict, "
+                    f"got {type(section).__name__}"
+                )
+        max_steps = budget.get("max_steps")
+        return cls(
+            algorithm=algorithm,
+            placement=placement,
+            budget=int(budget.get("runs", 1000)),
+            max_steps=None if max_steps is None else int(max_steps),
+            seed=int(mutation.get("seed", 0)),
+            placements=int(mutation.get("placements", 4)),
+            corpus_size=int(mutation.get("corpus_size", 64)),
+            mutations=int(mutation.get("mutations", 3)),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzSpec":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"fuzz spec is not valid JSON: {error}")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FuzzSpec":
+        """Read a spec from a JSON file (the ``--spec file.json`` path)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read fuzz spec {path!r}: {error}"
+            ) from None
+
+    # -- identity ------------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the canonical JSON form (memoised).
+
+        The campaign driver derives one seed per run from this hash, so
+        it is computed once per (frozen, immutable) spec instance rather
+        than once per run.
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            canonical = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
+
+    def derive_seed(self, salt: Union[int, str] = 0) -> int:
+        """A stable 63-bit seed derived from the content hash and ``salt``.
+
+        Used for per-placement seeds, per-shard seeds and the driver
+        RNG, so every random choice in a campaign traces back to the
+        spec alone.
+        """
+        key = f"{self.content_hash()}|{salt}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF

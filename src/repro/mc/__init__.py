@@ -15,6 +15,14 @@ Entry points: :func:`check_interleavings` (one placement),
 :func:`exhaust_placements` (all placements of an ``(n, k)``),
 :func:`replay_counterexample` (deterministic reproduction), and the
 ``repro mc`` CLI command.
+
+The property oracles are shared beyond the exhaustive search:
+:class:`~repro.mc.oracle.PropertyOracle` bundles one instance's suites
+for any driver, :func:`~repro.mc.oracle.drive_schedule` replays a
+schedule under them with ReplayScheduler semantics, and
+:func:`~repro.mc.shrink.shrink_schedule` delta-debugs a violating
+schedule to a 1-minimal reproduction — the machinery the
+coverage-guided fuzzer (:mod:`repro.fuzz`) builds on.
 """
 
 from repro.mc.checker import (
@@ -24,6 +32,12 @@ from repro.mc.checker import (
     check_interleavings,
     exhaust_placements,
     replay_counterexample,
+)
+from repro.mc.oracle import (
+    PropertyOracle,
+    ReplayOutcome,
+    Violation,
+    drive_schedule,
 )
 from repro.mc.properties import (
     EnabledSetConsistency,
@@ -36,16 +50,24 @@ from repro.mc.properties import (
     UniformTerminal,
     default_memory_limit,
     default_safety_properties,
+    resolve_terminal,
 )
+from repro.mc.shrink import shrink_schedule
 from repro.mc.state import Frame, PreState, SearchStats, capture_pre_state
 
 __all__ = [
     "Counterexample",
     "MCResult",
+    "PropertyOracle",
+    "ReplayOutcome",
+    "Violation",
     "all_placements",
     "check_interleavings",
+    "drive_schedule",
     "exhaust_placements",
     "replay_counterexample",
+    "resolve_terminal",
+    "shrink_schedule",
     "SafetyProperty",
     "TerminalProperty",
     "StructuralIntegrity",

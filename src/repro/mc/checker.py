@@ -37,12 +37,11 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import ConfigurationError
 from repro.mc.properties import (
     SafetyProperty,
     TerminalProperty,
-    UniformTerminal,
     default_safety_properties,
+    resolve_terminal,
 )
 from repro.mc.state import Frame, SearchStats, capture_pre_state
 from repro.ring.placement import Placement
@@ -125,28 +124,6 @@ class MCResult:
         )
 
 
-def _resolve_terminal(
-    algorithm: str,
-    require_halted: Optional[bool],
-    require_suspended: Optional[bool],
-) -> TerminalProperty:
-    if require_halted is None and require_suspended is None:
-        from repro.registry import get_algorithm
-
-        try:
-            halts = get_algorithm(algorithm).halts
-        except ConfigurationError:
-            raise ConfigurationError(
-                f"unknown algorithm {algorithm!r} and no explicit terminal "
-                "requirements; pass require_halted/require_suspended"
-            ) from None
-        require_halted, require_suspended = halts, not halts
-    return UniformTerminal(
-        require_halted=bool(require_halted),
-        require_suspended=bool(require_suspended),
-    )
-
-
 def _cycle_message(depth: int) -> str:
     """The livelock-cycle violation text (shared with the replay check)."""
     return (
@@ -205,7 +182,7 @@ def check_interleavings(
         default_safety_properties(n, k) if safety is None else safety
     )
     terminal_props: Tuple[TerminalProperty, ...] = (
-        (_resolve_terminal(algorithm, require_halted, require_suspended),)
+        (resolve_terminal(algorithm, require_halted, require_suspended),)
         if terminal is None
         else tuple(terminal)
     )
@@ -399,7 +376,7 @@ def replay_counterexample(
     if counterexample.kind == "terminal":
         terminal_props: Tuple[TerminalProperty, ...] = (
             (
-                _resolve_terminal(
+                resolve_terminal(
                     counterexample.algorithm, require_halted, require_suspended
                 ),
             )

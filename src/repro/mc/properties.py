@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.analysis.verification import audit_configuration, verify_uniform_deployment
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.mc.state import PreState
 from repro.ring.configuration import Configuration
 from repro.sim.engine import Engine
@@ -49,6 +49,7 @@ __all__ = [
     "UniformTerminal",
     "default_memory_limit",
     "default_safety_properties",
+    "resolve_terminal",
 ]
 
 
@@ -185,6 +186,37 @@ class UniformTerminal(TerminalProperty):
         if not report:
             return report.describe()
         return None
+
+
+def resolve_terminal(
+    algorithm: str,
+    require_halted: "Optional[bool]" = None,
+    require_suspended: "Optional[bool]" = None,
+) -> UniformTerminal:
+    """The terminal requirement an instance of ``algorithm`` must meet.
+
+    With explicit ``require_halted`` / ``require_suspended`` those win;
+    otherwise the registered algorithm's ``halts`` flag decides
+    (termination-detecting algorithms must halt, the relaxed algorithm
+    must suspend).  Unregistered names without explicit requirements are
+    a :class:`~repro.errors.ConfigurationError` — shared by the model
+    checker and the schedule fuzzer.
+    """
+    if require_halted is None and require_suspended is None:
+        from repro.registry import get_algorithm
+
+        try:
+            halts = get_algorithm(algorithm).halts
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r} and no explicit terminal "
+                "requirements; pass require_halted/require_suspended"
+            ) from None
+        require_halted, require_suspended = halts, not halts
+    return UniformTerminal(
+        require_halted=bool(require_halted),
+        require_suspended=bool(require_suspended),
+    )
 
 
 def default_memory_limit(ring_size: int, agent_count: int) -> int:

@@ -1,0 +1,86 @@
+"""Delta-debugging schedule minimisation (ddmin over activation logs).
+
+A fuzzer-found violating schedule is hundreds of actions long, most of
+them irrelevant.  :func:`shrink_schedule` reduces it to a *1-minimal*
+schedule — removing any single remaining entry no longer reproduces the
+defect — using the classic ddmin strategy (Zeller & Hildebrandt):
+remove progressively finer chunks, restarting coarse whenever a removal
+succeeds.
+
+The caller supplies the oracle ``still_fails(candidate) -> bool``; in
+this repo that is an oracle-checked replay
+(:func:`repro.mc.oracle.drive_schedule` on a
+:meth:`~repro.mc.oracle.PropertyOracle.fork_root` engine) asserting the
+same property fails the same way.  Because replay semantics pad an
+exhausted log with the lowest-id enabled agent, aggressive truncation
+usually succeeds immediately: a prefix that merely *sets up* the race
+still runs to the violation under the deterministic fallback.
+
+``max_evals`` bounds the number of oracle calls so pathological
+schedules cannot stall a fuzzing campaign; the result is still a valid
+(possibly non-minimal) failing schedule when the budget runs out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = ["shrink_schedule"]
+
+
+def shrink_schedule(
+    schedule: Sequence[int],
+    still_fails: Callable[[Tuple[int, ...]], bool],
+    *,
+    max_evals: int = 2000,
+) -> Tuple[int, ...]:
+    """Minimise ``schedule`` while ``still_fails`` keeps returning True.
+
+    Returns a subsequence of ``schedule`` (possibly the input itself
+    when nothing can be removed) that still fails.  The input itself is
+    assumed to fail and is never re-checked.  Within ``max_evals``
+    oracle calls the result is 1-minimal; beyond it the best schedule
+    found so far is returned.
+    """
+    current: List[int] = list(schedule)
+    evals = 0
+
+    def fails(candidate: List[int]) -> bool:
+        nonlocal evals
+        evals += 1
+        return still_fails(tuple(candidate))
+
+    # The replay fallback often finishes the run on its own: probe the
+    # empty schedule first, then binary-search the shortest failing
+    # prefix — a cheap O(log n) start that typically removes the bulk.
+    if current and evals < max_evals and fails([]):
+        return ()
+    low, high = 0, len(current)  # prefix of length `high` is known to fail
+    while low + 1 < high and evals < max_evals:
+        mid = (low + high) // 2
+        if fails(current[:mid]):
+            high = mid
+        else:
+            low = mid
+    current = current[:high]
+
+    granularity = 2
+    while len(current) >= 2 and evals < max_evals:
+        chunk = max(1, len(current) // granularity)
+        removed_any = False
+        start = 0
+        while start < len(current) and evals < max_evals:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and fails(candidate):
+                current = candidate
+                removed_any = True
+                # Do not advance: the next chunk shifted into `start`.
+            else:
+                start += chunk
+        if removed_any:
+            granularity = max(granularity - 1, 2)
+        elif chunk == 1:
+            break  # 1-minimal: no single entry can be removed
+        else:
+            granularity = min(len(current), granularity * 2)
+    return tuple(current)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Set
 
+from repro.errors import ConfigurationError
 from repro.registry import CONTEXT_SEED, SchedulerParam, register_scheduler
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "BurstScheduler",
     "ChaosScheduler",
     "ReplayScheduler",
+    "RecordingScheduler",
 ]
 
 
@@ -245,6 +247,52 @@ class ReplayScheduler(Scheduler):
         return f"ReplayScheduler(len={len(self._log)})"
 
 
+class RecordingScheduler(Scheduler):
+    """Transparent shim: delegate to ``inner``, record every decision.
+
+    The engine's ``activation_log`` records which agents *acted*;
+    this shim records what the wrapped scheduler *chose*, including
+    batch entries the engine later skipped because an earlier activation
+    in the same batch disabled them.  Wrap any scheduler you hand to
+    code you do not control to capture its raw decisions — e.g. to
+    archive an adversary's behaviour for a bug report, or to seed a
+    fuzzing corpus (``repro.fuzz`` harvests its own seed runs through
+    the engine directly, where the activation log suffices; the shim is
+    for captures from the outside).
+
+    ``log`` is the flat decision sequence (batches concatenated) and
+    ``batches`` the per-call structure.  Both replay through
+    :class:`ReplayScheduler`, whose skip-disabled semantics re-drop the
+    entries the engine dropped.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        self._inner = inner
+        self._batches: List[List[int]] = []
+
+    @property
+    def counts_time(self) -> bool:  # type: ignore[override]
+        return self._inner.counts_time
+
+    @property
+    def batches(self) -> List[List[int]]:
+        """Every batch the wrapped scheduler returned, in call order."""
+        return [list(batch) for batch in self._batches]
+
+    @property
+    def log(self) -> List[int]:
+        """The flat decision sequence (batches concatenated)."""
+        return [agent for batch in self._batches for agent in batch]
+
+    def next_batch(self, enabled: Sequence[int]) -> List[int]:
+        batch = self._inner.next_batch(enabled)
+        self._batches.append(list(batch))
+        return batch
+
+    def describe(self) -> str:
+        return f"RecordingScheduler({self._inner.describe()})"
+
+
 @register_scheduler(
     "chaos",
     params=(
@@ -265,6 +313,10 @@ class ChaosScheduler(Scheduler):
     """
 
     def __init__(self, epoch: int = 30, seed: int = 0) -> None:
+        if epoch < 1:
+            # epoch=0 would divide by zero on the very first batch; fail
+            # at construction where the bad spec string is still in view.
+            raise ConfigurationError(f"chaos epoch must be >= 1, got {epoch}")
         self._epoch = epoch
         self._step = 0
         self._rng = random.Random(seed)
@@ -305,6 +357,8 @@ class BurstScheduler(Scheduler):
     """
 
     def __init__(self, burst: int = 25, seed: int = 0) -> None:
+        if burst < 1:
+            raise ConfigurationError(f"burst length must be >= 1, got {burst}")
         self._burst = burst
         self._remaining = burst
         self._current: Optional[int] = None

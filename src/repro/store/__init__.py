@@ -13,10 +13,14 @@ O(cells).
   (in-memory index, atomic appends safe under the sweep pool),
 * :func:`~repro.store.cache.cached_run` — spec-in, result-out
   memoisation used by the runner, sweeps, statistics, reports and the
-  CLI.
+  CLI,
+* :class:`~repro.store.failures.FailureArchive` — content-addressed
+  JSON artifacts for fuzzer-found violations, one file per triggering
+  spec hash under ``<store>/failures/`` (``RunStore.failures``).
 """
 
 from repro.store.cache import cached_run
+from repro.store.failures import FailureArchive
 from repro.store.jsonl import RunStore
 from repro.store.records import (
     STORE_SCHEMA_VERSION,
@@ -28,6 +32,7 @@ from repro.store.records import (
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "FailureArchive",
     "RunRecord",
     "RunStore",
     "cached_run",

@@ -1,0 +1,125 @@
+"""Failure artifacts inside a run store: ``<root>/failures/<hash>.json``.
+
+The run store archives *successful* runs as JSONL records keyed by
+spec content hash; fuzzer-found violations get the same
+content-addressed treatment as standalone JSON artifacts, one file per
+failure, keyed by the hash of the **triggering experiment spec** (the
+``replay:log=...`` :class:`~repro.spec.ExperimentSpec` that reproduces
+the violation — see :class:`repro.fuzz.failure.FailureCase`).
+
+One artifact per file (not JSONL) because failures are rare, written
+once, and read by humans and CI jobs that want to ``cat`` or upload
+them individually.  Writes are atomic (temp file + ``os.replace``), so
+a killed fuzzing campaign never leaves a torn artifact, and duplicate
+puts of the same hash are idempotent.
+
+The archive stores plain dicts: it has no opinion about the payload
+beyond requiring a matching ``content_hash`` field, so the store layer
+stays independent of the fuzzing layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FailureArchive"]
+
+
+class FailureArchive:
+    """A content-addressed directory of failure artifacts."""
+
+    def __init__(self, root: Union[str, Path], *, create: bool = True) -> None:
+        self.root = Path(root)
+        if not self.root.exists():
+            if not create:
+                raise ConfigurationError(
+                    f"failure archive {self.root} does not exist"
+                )
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise ConfigurationError(
+                f"failure archive path {self.root} is not a directory"
+            )
+
+    def _path(self, content_hash: str) -> Path:
+        if not content_hash or any(c in content_hash for c in "/\\."):
+            raise ConfigurationError(
+                f"bad failure content hash {content_hash!r}"
+            )
+        return self.root / f"{content_hash}.json"
+
+    # -- writing -------------------------------------------------------------
+
+    def put(
+        self,
+        content_hash: str,
+        payload: Dict[str, object],
+        *,
+        replace: bool = False,
+    ) -> Path:
+        """Archive ``payload`` under ``content_hash``; return the path.
+
+        The payload must carry a matching ``content_hash`` field (the
+        self-describing-artifact invariant).  Duplicate hashes are
+        idempotent no-ops unless ``replace=True``.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"failure payload must be a dict, got {type(payload).__name__}"
+            )
+        if payload.get("content_hash") != content_hash:
+            raise ConfigurationError(
+                f"failure payload content_hash {payload.get('content_hash')!r} "
+                f"does not match the archive key {content_hash!r}"
+            )
+        path = self._path(content_hash)
+        if path.exists() and not replace:
+            return path
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, content_hash: str) -> Dict[str, object]:
+        """The archived payload (``KeyError`` when absent)."""
+        path = self._path(content_hash)
+        if not path.exists():
+            raise KeyError(content_hash)
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def hashes(self) -> List[str]:
+        """All archived hashes, sorted."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def resolve(self, prefix: str) -> List[str]:
+        """All archived hashes starting with ``prefix`` (sorted)."""
+        return [h for h in self.hashes() if h.startswith(prefix)]
+
+    def __contains__(self, content_hash: str) -> bool:
+        return self._path(content_hash).exists()
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+    def describe(self) -> str:
+        return f"FailureArchive({self.root}): {len(self)} artifact(s)"

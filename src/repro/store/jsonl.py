@@ -33,10 +33,13 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.store.records import RunRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store.failures import FailureArchive
 
 __all__ = ["RunStore"]
 
@@ -311,6 +314,28 @@ class RunStore:
         return content_hash in self._index
 
     __contains__ = contains
+
+    def resolve_prefix(self, prefix: str) -> List[str]:
+        """All stored hashes starting with ``prefix``, sorted.
+
+        The abbreviated-hash helper behind ``repro query --hash``: a
+        prefix can legitimately match several records, and callers that
+        need exactly one (or want to report ambiguity clearly) resolve
+        it here first instead of picking an arbitrary match.
+        """
+        return sorted(h for h in self._index if h.startswith(prefix))
+
+    @property
+    def failures(self) -> "FailureArchive":
+        """The store's failure-artifact archive (``<root>/failures/``).
+
+        Fuzzer-found violations live here as one JSON artifact per
+        triggering-spec content hash; see
+        :class:`repro.store.failures.FailureArchive`.
+        """
+        from repro.store.failures import FailureArchive
+
+        return FailureArchive(self.root / "failures")
 
     def __len__(self) -> int:
         return len(self._index)

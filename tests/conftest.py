@@ -2,11 +2,38 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro.ring.placement import Placement
+
+# Pinned Hypothesis profiles: property/stateful tests must never flake
+# under CI load.  `deadline=None` removes the wall-clock-per-example
+# limit (shared CI runners stall arbitrarily), and the `ci` profile is
+# additionally derandomized so a CI run is a pure function of the code
+# under test — no fresh random examples, no surprise-only-on-main
+# failures.  Locally the randomized profile keeps hunting new examples.
+# Guarded import: without hypothesis the property-test *files* fail,
+# not the whole suite's collection.
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:
+    pass
+else:
+    settings.register_profile(
+        "repro",
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci",
+        settings.get_profile("repro"),
+        derandomize=True,
+    )
+    settings.load_profile("ci" if os.environ.get("CI") else "repro")
 
 
 @pytest.fixture

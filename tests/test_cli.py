@@ -253,3 +253,161 @@ class TestTimelineCommand:
         code = main(["timeline", "--n", "12", "--k", "3", "--limit", "5"])
         assert code == 0
         assert "configuration" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Every bad input must exit non-zero with a one-line diagnostic."""
+
+    @staticmethod
+    def _assert_one_line_error(capsys, code):
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_run_malformed_spec_json(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{definitely not json")
+        code = main(["run", "--spec", str(bad)])
+        self._assert_one_line_error(capsys, code)
+
+    def test_run_spec_wrong_shape(self, capsys, tmp_path):
+        bad = tmp_path / "shape.json"
+        bad.write_text('{"algorithm": "known_k_full", "placement": {"kind": "x"}}')
+        code = main(["run", "--spec", str(bad)])
+        self._assert_one_line_error(capsys, code)
+
+    def test_run_missing_spec_file(self, capsys):
+        code = main(["run", "--spec", "/no/such/spec.json"])
+        self._assert_one_line_error(capsys, code)
+
+    def test_unknown_scheduler_spec_name(self, capsys):
+        code = main(["run", "--n", "8", "--k", "2", "--scheduler", "warpdrive"])
+        self._assert_one_line_error(capsys, code)
+        code = main(["run", "--scheduler", "laggard:victims=1--2"])
+        self._assert_one_line_error(capsys, code)
+
+    def test_psweep_scheduler_spec_errors(self, capsys):
+        code = main(["psweep", "--grid", "8x2", "--schedulers", "warpdrive"])
+        self._assert_one_line_error(capsys, code)
+
+    def test_psweep_resume_without_store_conflicts(self, capsys):
+        code = main(["psweep", "--grid", "8x2", "--resume"])
+        self._assert_one_line_error(capsys, code)
+
+    def test_psweep_no_resume_without_store_conflicts(self, capsys):
+        code = main(["psweep", "--grid", "8x2", "--no-resume"])
+        self._assert_one_line_error(capsys, code)
+
+    def test_psweep_resume_with_store_is_fine(self, capsys, tmp_path):
+        code = main(
+            ["psweep", "--grid", "8x2", "--trials", "1", "--jobs", "1",
+             "--store", str(tmp_path / "store"), "--resume"]
+        )
+        assert code == 0
+        assert "cached" in capsys.readouterr().out
+
+
+class TestQueryHashPrefix:
+    def test_ambiguous_prefix_lists_all_matches_with_a_message(
+        self, capsys, tmp_path
+    ):
+        from repro.experiments.runner import run_experiment
+        from repro.spec import ExperimentSpec, PlacementSpec
+        from repro.store import RunRecord, RunStore
+
+        store = RunStore(tmp_path / "store")
+        spec = ExperimentSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(kind="random", ring_size=8, agent_count=2, seed=0),
+        )
+        payload = run_experiment(spec).to_record(spec).to_dict()
+        for content_hash in ("aa" * 32, "ab" * 32, "cd" * 32):
+            record = dict(payload, content_hash=content_hash)
+            store.put(RunRecord.from_dict(record))
+
+        code = main(["query", "--store", str(store.root), "--hash", "a"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "hash prefix 'a' is ambiguous: 2 archived runs match" in output
+        assert "listing all of them" in output
+        assert "2 of 3 archived runs matched" in output
+
+    def test_ambiguity_note_goes_to_stderr_in_json_mode(self, capsys, tmp_path):
+        import json as json_module
+
+        from repro.experiments.runner import run_experiment
+        from repro.spec import ExperimentSpec, PlacementSpec
+        from repro.store import RunRecord, RunStore
+
+        store = RunStore(tmp_path / "store")
+        spec = ExperimentSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(kind="random", ring_size=8, agent_count=2, seed=0),
+        )
+        payload = run_experiment(spec).to_record(spec).to_dict()
+        for content_hash in ("aa" * 32, "ab" * 32):
+            store.put(RunRecord.from_dict(dict(payload, content_hash=content_hash)))
+
+        code = main(
+            ["query", "--store", str(store.root), "--hash", "a", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ambiguous" in captured.err
+        records = json_module.loads(captured.out)  # stdout stays pure JSON
+        assert len(records) == 2
+
+    def test_unique_prefix_prints_no_ambiguity_note(self, capsys, tmp_path):
+        from repro.experiments.runner import run_experiment
+        from repro.spec import ExperimentSpec, PlacementSpec
+        from repro.store import RunRecord, RunStore
+
+        store = RunStore(tmp_path / "store")
+        spec = ExperimentSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(kind="random", ring_size=8, agent_count=2, seed=0),
+        )
+        payload = run_experiment(spec).to_record(spec).to_dict()
+        for content_hash in ("aa" * 32, "cd" * 32):
+            store.put(RunRecord.from_dict(dict(payload, content_hash=content_hash)))
+        code = main(["query", "--store", str(store.root), "--hash", "cd"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "ambiguous" not in output
+        assert "1 of 2 archived runs matched" in output
+
+    def test_filters_that_disambiguate_suppress_the_note(self, capsys, tmp_path):
+        import copy
+
+        from repro.experiments.runner import run_experiment
+        from repro.spec import ExperimentSpec, PlacementSpec
+        from repro.store import RunRecord, RunStore
+
+        store = RunStore(tmp_path / "store")
+        spec = ExperimentSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(kind="random", ring_size=8, agent_count=2, seed=0),
+        )
+        payload = run_experiment(spec).to_record(spec).to_dict()
+        for content_hash, algorithm in (
+            ("aa" * 32, "known_k_full"),
+            ("ab" * 32, "unknown"),
+        ):
+            record = copy.deepcopy(payload)
+            record["content_hash"] = content_hash
+            record["result"]["algorithm"] = algorithm
+            store.put(RunRecord.from_dict(record))
+        assert store.resolve_prefix("a") == ["aa" * 32, "ab" * 32]
+        # The prefix alone matches two records, but the algorithm filter
+        # narrows the listing to one — the ambiguity note must agree
+        # with what is actually listed, so it stays silent.
+        code = main(
+            ["query", "--store", str(store.root), "--hash", "a",
+             "--algorithm", "known_k_full"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "ambiguous" not in output
+        assert "1 of 2 archived runs matched" in output

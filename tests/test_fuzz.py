@@ -1,0 +1,404 @@
+"""Tests for the coverage-guided schedule fuzzer (repro.fuzz)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import build_engine, run_experiment
+from repro.fuzz import (
+    Corpus,
+    CorpusEntry,
+    CoverageMap,
+    FailureCase,
+    FuzzSpec,
+    coverage_key,
+    enabled_pattern,
+    fuzz,
+    mutate_schedule,
+    replay_spec_string,
+    splice,
+)
+from repro.mc import PropertyOracle, drive_schedule, shrink_schedule
+from repro.ring.placement import Placement
+from repro.sim.scheduler import RandomScheduler, RecordingScheduler, ReplayScheduler
+from repro.spec import PlacementSpec
+from repro.store import FailureArchive
+
+
+def wake_race_spec(**overrides) -> FuzzSpec:
+    """A small deterministic campaign that must find the injected bug."""
+    options = dict(
+        algorithm="wake_race",
+        placement=PlacementSpec(kind="random", ring_size=16, agent_count=4, seed=0),
+        budget=120,
+        placements=2,
+        seed=0,
+    )
+    options.update(overrides)
+    return FuzzSpec(**options)
+
+
+class TestFuzzSpec:
+    def test_dict_round_trip(self):
+        spec = wake_race_spec(budget=77, corpus_size=9, mutations=2)
+        assert FuzzSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = wake_race_spec()
+        assert FuzzSpec.from_json(spec.to_json()) == spec
+
+    def test_content_hash_is_stable_and_sensitive(self):
+        spec = wake_race_spec()
+        assert spec.content_hash() == wake_race_spec().content_hash()
+        assert spec.content_hash() != spec.with_options(budget=121).content_hash()
+        assert spec.content_hash() != spec.with_options(seed=1).content_hash()
+
+    def test_unknown_keys_rejected(self):
+        data = wake_race_spec().to_dict()
+        data["extra"] = 1
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            FuzzSpec.from_dict(data)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            wake_race_spec(budget=0)
+        with pytest.raises(ConfigurationError, match="placements"):
+            wake_race_spec(placements=0)
+        with pytest.raises(ConfigurationError, match="corpus_size"):
+            wake_race_spec(corpus_size=1)
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            wake_race_spec(algorithm="nope")
+
+    def test_pinned_placement_kind_forces_one_placement(self):
+        with pytest.raises(ConfigurationError, match="placements must be 1"):
+            FuzzSpec(
+                algorithm="wake_race",
+                placement=PlacementSpec(kind="distances", distances=(1, 2, 5)),
+                placements=2,
+            )
+
+    def test_build_placement_is_deterministic_and_varied(self):
+        spec = wake_race_spec(placements=3)
+        first = [spec.build_placement(i) for i in range(3)]
+        second = [spec.build_placement(i) for i in range(3)]
+        assert first == second
+        assert len({p.homes for p in first}) > 1
+        with pytest.raises(ConfigurationError, match="out of range"):
+            spec.build_placement(3)
+
+    def test_experiment_spec_uses_replay_scheduler(self):
+        spec = wake_race_spec()
+        placement = spec.build_placement(0)
+        experiment = spec.experiment_spec(placement, (1, 0, 2))
+        assert experiment.scheduler == "replay:log=1-0-2"
+        assert experiment.build_placement() == placement
+        assert spec.experiment_spec(placement, ()).scheduler == "replay"
+
+    def test_replay_spec_string(self):
+        assert replay_spec_string(()) == "replay"
+        assert replay_spec_string((3, 1, 4)) == "replay:log=3-1-4"
+
+
+class TestMutations:
+    def test_deterministic_for_a_seed(self):
+        schedule = tuple(random.Random(0).choices(range(4), k=60))
+        first = mutate_schedule(random.Random(7), schedule, (0, 1, 2, 3))
+        second = mutate_schedule(random.Random(7), schedule, (0, 1, 2, 3))
+        assert first == second
+
+    def test_outputs_stay_in_the_agent_alphabet(self):
+        agents = (0, 1, 2)
+        rng = random.Random(3)
+        schedule: tuple = ()
+        for _ in range(200):
+            schedule = mutate_schedule(rng, schedule, agents)
+            assert all(agent in agents for agent in schedule)
+
+    def test_splice_is_prefix_plus_suffix(self):
+        rng = random.Random(1)
+        out = splice(rng, (1, 1, 1, 1), (2, 2, 2, 2))
+        assert set(out) <= {1, 2}
+        ones = [i for i, v in enumerate(out) if v == 1]
+        twos = [i for i, v in enumerate(out) if v == 2]
+        assert not ones or not twos or max(ones) < min(twos)
+
+
+class TestShrink:
+    def test_shrinks_to_the_minimal_core(self):
+        # Fails iff the schedule contains at least three 7s.
+        def still_fails(candidate):
+            return list(candidate).count(7) >= 3
+
+        noisy = (1, 7, 2, 2, 7, 3, 3, 3, 7, 4, 7, 5)
+        shrunk = shrink_schedule(noisy, still_fails)
+        assert shrunk == (7, 7, 7)
+
+    def test_one_minimality(self):
+        def still_fails(candidate):
+            return 5 in candidate and 9 in candidate
+
+        shrunk = shrink_schedule((1, 5, 2, 9, 5, 3), still_fails)
+        assert still_fails(shrunk)
+        for index in range(len(shrunk)):
+            assert not still_fails(shrunk[:index] + shrunk[index + 1:])
+
+    def test_empty_wins_when_everything_fails(self):
+        assert shrink_schedule((1, 2, 3), lambda c: True) == ()
+
+    def test_eval_budget_returns_a_failing_schedule(self):
+        def still_fails(candidate):
+            return list(candidate).count(1) >= 5
+
+        noisy = tuple([1, 2] * 50)
+        shrunk = shrink_schedule(noisy, still_fails, max_evals=5)
+        assert still_fails(shrunk)
+
+
+class TestCoverage:
+    def test_coverage_key_is_process_independent(self):
+        # Pinned literal: BLAKE2b-8 of repr, not builtin hash(), so the
+        # key survives PYTHONHASHSEED and can merge across processes.
+        assert coverage_key(("x", 1)) == 1422071402036486208
+
+    def test_observe_reports_novelty_once(self):
+        placement = Placement(ring_size=8, homes=(0, 3))
+        engine = build_engine("known_k_full", placement)
+        coverage = CoverageMap()
+        assert coverage.observe(engine) == 2
+        assert coverage.observe(engine) == 0
+        engine.step(engine.enabled_agents()[0])
+        assert coverage.observe(engine) >= 1
+        assert coverage.states == 2
+
+    def test_enabled_pattern_abstracts_agent_identity(self):
+        placement = Placement(ring_size=8, homes=(0, 3))
+        engine = build_engine("known_k_full", placement)
+        statuses, enabled = enabled_pattern(engine)
+        assert statuses == ("Q", "Q")  # both agents head their home queues
+        assert enabled == 2
+
+    def test_merge_and_export(self):
+        first, second = CoverageMap(), CoverageMap()
+        first.merge_keys([1, 2], [10])
+        second.merge_keys([2, 3], [11])
+        second.merge_keys(*first.export_keys())
+        assert second.states == 3
+        assert second.patterns == 2
+
+
+class TestCorpus:
+    def test_bounded_with_weakest_evicted(self):
+        corpus = Corpus(2)
+        for run, gain in enumerate((5, 1, 3)):
+            corpus.add(
+                CorpusEntry(
+                    placement_index=0, schedule=(run,), gain=gain, run_index=run
+                )
+            )
+        assert len(corpus) == 2
+        assert sorted(entry.gain for entry in corpus.entries) == [3, 5]
+
+    def test_pick_is_deterministic_with_seeded_rng(self):
+        corpus = Corpus(4)
+        for run in range(4):
+            corpus.add(
+                CorpusEntry(
+                    placement_index=0, schedule=(run,), gain=1, run_index=run
+                )
+            )
+        assert corpus.pick(random.Random(1)) == corpus.pick(random.Random(1))
+        assert corpus.pick_pair(random.Random(2)) is not None
+
+
+class TestDriveSchedule:
+    def test_matches_replay_scheduler_exactly(self):
+        placement = Placement(ring_size=10, homes=(0, 4, 7))
+        oracle = PropertyOracle("known_k_full", placement)
+        recorded = drive_schedule(oracle, (), max_steps=10_000)
+        assert recorded.ok and recorded.quiesced
+        engine = build_engine(
+            "known_k_full", placement, scheduler=ReplayScheduler(recorded.executed)
+        )
+        engine.run()
+        assert engine.activation_log == recorded.executed
+
+    def test_fork_root_replays_identically(self):
+        placement = Placement(ring_size=10, homes=(0, 4, 7))
+        oracle = PropertyOracle("known_k_full", placement)
+        baseline = drive_schedule(oracle, (2, 2, 1), max_steps=10_000)
+        forked = drive_schedule(
+            oracle, (2, 2, 1), max_steps=10_000, engine=oracle.fork_root()
+        )
+        again = drive_schedule(
+            oracle, (2, 2, 1), max_steps=10_000, engine=oracle.fork_root()
+        )
+        assert forked == baseline == again
+
+
+class TestRecordingScheduler:
+    def test_records_inner_decisions_and_replays(self):
+        placement = Placement(ring_size=10, homes=(0, 4, 7))
+        recorder = RecordingScheduler(RandomScheduler(seed=5))
+        engine = build_engine("known_k_full", placement, scheduler=recorder)
+        engine.run()
+        assert recorder.log  # every decision captured
+        assert len(recorder.batches) == len(recorder.log)  # one pick per batch
+        assert not recorder.counts_time
+        # The recorded decision log replays to the identical execution.
+        replay = build_engine(
+            "known_k_full", placement, scheduler=ReplayScheduler(recorder.log)
+        )
+        replay.run()
+        assert replay.activation_log == engine.activation_log
+
+
+class TestFuzzer:
+    def test_finds_the_wake_race_bug(self):
+        outcome = fuzz(wake_race_spec())
+        assert outcome.found
+        failure = outcome.failures[0]
+        assert failure.kind == "terminal"
+        assert failure.property_name == "uniform-terminal"
+        assert failure.replay_verified
+        assert len(failure.shrunk) <= len(failure.schedule)
+        assert failure.algorithm == "wake_race"
+
+    def test_failure_spec_replays_to_the_violation(self):
+        outcome = fuzz(wake_race_spec())
+        failure = outcome.failures[0]
+        experiment = failure.experiment_spec()
+        assert experiment.content_hash() == failure.content_hash
+        result = run_experiment(experiment)
+        assert not result.ok  # deterministic reproduction, no fuzzer in the loop
+
+    def test_campaigns_are_deterministic(self):
+        first = fuzz(wake_race_spec(budget=40))
+        second = fuzz(wake_race_spec(budget=40))
+        assert first == second
+
+    def test_correct_algorithm_stays_clean_and_covers(self):
+        spec = FuzzSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(kind="random", ring_size=10, agent_count=3, seed=0),
+            budget=25,
+            placements=2,
+            seed=0,
+        )
+        outcome = fuzz(spec)
+        assert not outcome.found
+        assert outcome.complete and outcome.runs == 25
+        assert outcome.states > 100
+        assert outcome.corpus_size > 0
+        assert outcome.history[-1]["run"] == 25
+
+    def test_keep_going_collects_and_deduplicates(self):
+        outcome = fuzz(wake_race_spec(budget=20), keep_going=True)
+        assert outcome.complete and outcome.runs == 20
+        assert outcome.found
+
+    def test_failure_case_round_trips(self):
+        outcome = fuzz(wake_race_spec())
+        failure = outcome.failures[0]
+        assert FailureCase.from_dict(failure.to_dict()) == failure
+
+    def test_fuzz_parallel_shards_and_merges(self):
+        from repro.fuzz import fuzz_parallel
+
+        spec = FuzzSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(kind="random", ring_size=8, agent_count=2, seed=0),
+            budget=8,
+            placements=2,
+            seed=0,
+        )
+        outcome = fuzz_parallel(spec, 2)
+        assert outcome.runs == 8  # both shard budgets spent
+        assert outcome.complete and not outcome.found
+        assert outcome.states > 0 and outcome.patterns > 0
+        # Shards derive distinct seeds, so the merged coverage is a
+        # genuine union, not double-counted duplicates.
+        solo = fuzz(spec.with_options(budget=4, seed=spec.derive_seed("shard|0")))
+        assert outcome.states >= solo.states
+
+
+class TestFailureArchive:
+    def test_put_get_idempotent(self, tmp_path):
+        archive = FailureArchive(tmp_path / "failures")
+        payload = {"content_hash": "ab" * 32, "message": "boom"}
+        path = archive.put("ab" * 32, payload)
+        assert path.exists()
+        assert archive.put("ab" * 32, {"content_hash": "ab" * 32}) == path
+        assert archive.get("ab" * 32) == payload  # first write wins
+        assert "ab" * 32 in archive and len(archive) == 1
+        assert archive.resolve("ab") == ["ab" * 32]
+
+    def test_mismatched_hash_rejected(self, tmp_path):
+        archive = FailureArchive(tmp_path)
+        with pytest.raises(ConfigurationError, match="does not match"):
+            archive.put("aa" * 32, {"content_hash": "bb" * 32})
+
+    def test_bad_hash_rejected(self, tmp_path):
+        archive = FailureArchive(tmp_path)
+        with pytest.raises(ConfigurationError, match="bad failure"):
+            archive.put("../escape", {"content_hash": "../escape"})
+
+    def test_missing_archive_without_create(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            FailureArchive(tmp_path / "absent", create=False)
+        with pytest.raises(KeyError):
+            FailureArchive(tmp_path).get("cc" * 32)
+
+    def test_run_store_exposes_its_archive(self, tmp_path):
+        from repro.store import RunStore
+
+        store = RunStore(tmp_path)
+        archive = store.failures
+        archive.put("cd" * 32, {"content_hash": "cd" * 32})
+        assert (tmp_path / "failures" / f"{'cd' * 32}.json").exists()
+        # Failure artifacts never pollute the run-record shards.
+        store.refresh()
+        assert len(store) == 0
+
+
+class TestFuzzerIntegration:
+    def test_archives_failures_like_the_cli(self, tmp_path):
+        from repro.store import RunStore
+
+        outcome = fuzz(wake_race_spec())
+        archive = RunStore(tmp_path).failures
+        for failure in outcome.failures:
+            archive.put(failure.content_hash, failure.to_dict())
+        stored = FailureCase.from_dict(archive.get(outcome.failures[0].content_hash))
+        assert stored == outcome.failures[0]
+
+    def test_hard_selftest_placement_found_with_tiny_budget(self):
+        # n=8 homes=(0,1,3): every sampled scheduler deploys uniformly
+        # (the mc selftest pins that) and uniform-random schedules hit
+        # the race with probability ~1/2000 per run; the adversary-
+        # seeded, coverage-guided campaign finds it within a handful.
+        spec = FuzzSpec(
+            algorithm="wake_race",
+            placement=PlacementSpec(kind="distances", distances=(1, 2, 5)),
+            budget=60,
+            placements=1,
+            seed=0,
+        )
+        outcome = fuzz(spec)
+        assert outcome.found
+        failure = outcome.failures[0]
+        assert failure.replay_verified
+        assert failure.homes == (0, 1, 3)
+        # And the shrunk schedule is a genuine (non-degenerate) race.
+        assert 0 < len(failure.shrunk) <= len(failure.schedule)
+
+
+class TestNoShrink:
+    def test_unshrunk_failures_say_so(self):
+        outcome = fuzz(wake_race_spec(), shrink=False)
+        failure = outcome.failures[0]
+        assert failure.shrunk == failure.schedule
+        assert "unshrunk" in failure.describe()
+        assert failure.replay_verified  # replay verification still runs

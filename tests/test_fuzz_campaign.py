@@ -1,0 +1,107 @@
+"""Full-budget fuzzing campaigns (the `fuzz` CI job's acceptance gate).
+
+The validation gate that makes the fuzzer real: the injected
+``wake_race`` defect — which survives every sampled scheduler in the
+mc selftest and is far beyond exhaustive reach at these sizes — must be
+rediscovered on n=16..24, k=4..6 within a bounded budget, and every
+shrunk counterexample must replay deterministically to the same
+violation through the stock experiment path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.fuzz import FuzzSpec, fuzz
+from repro.mc import PropertyOracle, drive_schedule
+from repro.ring.placement import Placement
+from repro.spec import PlacementSpec
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.mark.parametrize(
+    "ring_size,agent_count",
+    [(16, 4), (20, 5), (24, 6)],
+)
+def test_wake_race_rediscovered_beyond_mc_reach(ring_size, agent_count):
+    # `repro mc` exhausts n<=8, k<=3 in seconds; at n=16..24, k=4..6 the
+    # state space is astronomically larger — only the fuzzer's sampled,
+    # coverage-guided search can cover it.
+    spec = FuzzSpec(
+        algorithm="wake_race",
+        placement=PlacementSpec(
+            kind="random", ring_size=ring_size, agent_count=agent_count, seed=0
+        ),
+        budget=1000,  # the CLI default budget
+        placements=4,
+        seed=0,
+    )
+    outcome = fuzz(spec)
+    assert outcome.found, (
+        f"fuzzer missed the injected wake_race bug at n={ring_size}, "
+        f"k={agent_count} within {spec.budget} runs"
+    )
+    failure = outcome.failures[0]
+    assert failure.kind == "terminal"
+    assert failure.property_name == "uniform-terminal"
+    assert failure.replay_verified
+    assert len(failure.shrunk) <= len(failure.schedule)
+
+    # Deterministic replay, twice, through two independent paths:
+    # the stock ExperimentSpec/ReplayScheduler pipeline...
+    experiment = failure.experiment_spec()
+    first = run_experiment(experiment)
+    second = run_experiment(experiment)
+    assert not first.ok and not second.ok
+    assert first.final_positions == second.final_positions
+    # ... and the oracle-checked replay driver, message for message.
+    oracle = PropertyOracle(
+        "wake_race",
+        Placement(ring_size=failure.ring_size, homes=failure.homes),
+    )
+    replays = [
+        drive_schedule(oracle, failure.shrunk, max_steps=spec.run_step_cap(
+            experiment.build_placement()
+        ))
+        for _ in range(2)
+    ]
+    assert replays[0] == replays[1]
+    assert replays[0].violation is not None
+    assert replays[0].violation.property_name == failure.property_name
+    assert replays[0].violation.message == failure.message
+
+
+def test_correct_algorithms_survive_a_full_campaign():
+    # The same budget against correct algorithms must stay clean — the
+    # fuzzer's positive finding above is meaningful only if its oracles
+    # do not cry wolf.
+    for algorithm in ("known_k_full", "known_k_logspace"):
+        spec = FuzzSpec(
+            algorithm=algorithm,
+            placement=PlacementSpec(kind="random", ring_size=16, agent_count=4, seed=0),
+            budget=200,
+            placements=3,
+            seed=0,
+        )
+        outcome = fuzz(spec)
+        assert not outcome.found, outcome.failures
+        assert outcome.complete
+        assert outcome.states > 1000  # coverage actually accumulated
+
+
+def test_hard_selftest_placement_budget_margin():
+    # The mc selftest's needle placement, with a margin: 10 different
+    # campaign seeds, each of which must find the race within 100 runs.
+    for seed in range(10):
+        spec = FuzzSpec(
+            algorithm="wake_race",
+            placement=PlacementSpec(kind="distances", distances=(1, 2, 5)),
+            budget=100,
+            placements=1,
+            seed=seed,
+        )
+        outcome = fuzz(spec)
+        assert outcome.found, f"campaign seed {seed} missed the race"
+        assert outcome.failures[0].replay_verified

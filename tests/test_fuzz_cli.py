@@ -1,0 +1,99 @@
+"""CLI tests for `repro fuzz` and the failure-artifact pipeline."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.fuzz import FuzzSpec
+from repro.spec import PlacementSpec
+
+
+class TestFuzzCommand:
+    def test_finds_wake_race_and_archives_the_failure(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        out_json = tmp_path / "fuzz.json"
+        code = main(
+            [
+                "fuzz", "--algorithm", "wake_race", "--n", "16", "--k", "4",
+                "--budget", "120", "--placements", "2",
+                "--store", str(store), "--json", str(out_json),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 1  # a violation was found
+        assert "FAILURE" in output
+        assert "replay" in output
+        assert "coverage growth" in output
+        payload = json.loads(out_json.read_text())
+        assert payload["failures"], "outcome JSON must carry the failures"
+        failure = payload["failures"][0]
+        assert failure["replay_verified"] is True
+        # The artifact is archived under failures/<spec hash>.json.
+        artifact = store / "failures" / f"{failure['content_hash']}.json"
+        assert artifact.exists()
+        assert json.loads(artifact.read_text()) == failure
+
+    def test_archived_spec_replays_through_repro_run(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "fuzz", "--algorithm", "wake_race", "--n", "16", "--k", "4",
+                    "--budget", "120", "--placements", "2", "--store", str(store),
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        [artifact] = list((store / "failures").glob("*.json"))
+        spec_file = tmp_path / "replay-spec.json"
+        spec_file.write_text(json.dumps(json.loads(artifact.read_text())["spec"]))
+        # The minimal counterexample reproduces with zero fuzzing
+        # machinery: a stock replay run that fails verification.
+        assert main(["run", "--spec", str(spec_file)]) == 1
+        output = capsys.readouterr().out
+        assert "False" in output
+
+    def test_clean_algorithm_exits_zero(self, capsys):
+        code = main(
+            [
+                "fuzz", "--algorithm", "known_k_full", "--n", "10", "--k", "3",
+                "--budget", "20", "--placements", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "no violations" in output
+
+    def test_explicit_distances_pin_one_placement(self, capsys):
+        code = main(
+            [
+                "fuzz", "--algorithm", "wake_race", "--distances", "1,2,5",
+                "--budget", "60",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "homes=(0, 1, 3)" in output
+
+    def test_spec_file_round_trip(self, capsys, tmp_path):
+        spec = FuzzSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(kind="random", ring_size=8, agent_count=2, seed=3),
+            budget=10,
+            placements=1,
+        )
+        spec_file = tmp_path / "campaign.json"
+        spec_file.write_text(spec.to_json())
+        assert main(["fuzz", "--spec", str(spec_file)]) == 0
+        assert spec.content_hash()[:16] in capsys.readouterr().out
+
+    def test_malformed_spec_is_a_one_line_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["fuzz", "--spec", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1

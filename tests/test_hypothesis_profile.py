@@ -1,0 +1,33 @@
+"""Pin the Hypothesis profile conftest.py registers for the suite.
+
+Stateful and property tests (engine state machines, spec round trips,
+the parser fuzz tests) must not flake when a shared CI runner stalls:
+the active profile has no per-example deadline, and the ``ci`` profile
+is derandomized so CI runs are pure functions of the code under test.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+
+def test_active_profile_has_no_deadline():
+    assert settings().deadline is None
+
+
+def test_ci_profile_is_registered_and_derandomized():
+    ci = settings.get_profile("ci")
+    assert ci.deadline is None
+    assert ci.derandomize is True
+
+
+def test_local_profile_is_registered():
+    local = settings.get_profile("repro")
+    assert local.deadline is None
+
+
+def test_profile_selection_follows_ci_env():
+    expected = "ci" if os.environ.get("CI") else "repro"
+    assert settings._current_profile == expected

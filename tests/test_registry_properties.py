@@ -1,0 +1,133 @@
+"""Property tests: scheduler spec parsing under adversarial input.
+
+The spec-string grammar is the CLI's (and every JSON spec's) attack
+surface: whatever a user types after ``--scheduler`` must either parse
+into a canonical :class:`~repro.registry.SchedulerSpec` or raise
+:class:`~repro.errors.ConfigurationError` with a readable message —
+never an ``IndexError``/``ValueError``/``OverflowError`` traceback.
+And on everything that *does* parse, ``parse -> format -> parse`` must
+be the identity (the canonicalisation contract the registry documents).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.registry import (
+    format_scheduler_spec,
+    get_scheduler,
+    parse_scheduler_spec,
+    scheduler_names,
+)
+
+# -- generators --------------------------------------------------------------
+
+_names = st.sampled_from(scheduler_names())
+
+
+@st.composite
+def valid_specs(draw) -> str:
+    """A syntactically valid spec string with plausible typed values."""
+    name = draw(_names)
+    info = get_scheduler(name)
+    parts = []
+    for param in draw(st.permutations(info.params)):
+        if not draw(st.booleans()):
+            continue  # leave this parameter unpinned
+        if param.kind == "int_list":
+            values = draw(st.lists(st.integers(0, 99), min_size=1, max_size=4))
+            parts.append(f"{param.name}={'-'.join(map(str, values))}")
+        else:
+            parts.append(f"{param.name}={draw(st.integers(0, 10**30))}")
+    return name if not parts else f"{name}:{','.join(parts)}"
+
+
+_junk = st.text(
+    alphabet=st.characters(codec="utf-8", max_codepoint=0x2FFF),
+    max_size=40,
+)
+
+
+# -- properties --------------------------------------------------------------
+
+class TestAdversarialParsing:
+    @given(_junk)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            spec = parse_scheduler_spec(text)
+        except ConfigurationError:
+            return  # rejected loudly, as designed
+        # Accepted input must round-trip canonically.
+        assert parse_scheduler_spec(format_scheduler_spec(spec)) == spec
+
+    @given(_names, _junk)
+    def test_junk_arguments_never_crash(self, name, junk):
+        try:
+            spec = parse_scheduler_spec(f"{name}:{junk}")
+        except ConfigurationError:
+            return
+        assert spec.name == name
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            ":",
+            "random:",  # trailing colon, no args: accepted as bare name
+            "random:seed",  # no '=' -> rejected
+            "random:=5",  # empty key -> rejected
+            "random:seed=",  # empty value -> rejected
+            "random:seed=1,seed=2",  # duplicate key -> rejected
+            "laggard:victims=",  # empty int_list IS valid (no victims)
+            "laggard:victims=1--2",  # stray separator -> rejected
+            "laggard:victims=-1",  # leading sign -> rejected
+            "random:seed=∞",  # unicode junk value -> rejected
+            "\x00",
+        ],
+    )
+    def test_edge_case_strings_raise_cleanly_or_parse(self, text):
+        try:
+            spec = parse_scheduler_spec(text)
+        except ConfigurationError:
+            return
+        assert parse_scheduler_spec(format_scheduler_spec(spec)) == spec
+
+    def test_huge_ints_parse_without_overflow(self):
+        spec = parse_scheduler_spec(f"random:seed={10**100}")
+        assert dict(spec.args)["seed"] == 10**100
+        spec.build()  # and the scheduler actually constructs
+
+    def test_empty_int_list_is_the_empty_tuple(self):
+        spec = parse_scheduler_spec("laggard:victims=")
+        assert dict(spec.args)["victims"] == ()
+
+
+class TestRoundTrip:
+    @given(valid_specs())
+    def test_parse_format_parse_is_the_identity(self, text):
+        parsed = parse_scheduler_spec(text)
+        canonical = format_scheduler_spec(parsed)
+        assert parse_scheduler_spec(canonical) == parsed
+        # Formatting is idempotent on canonical strings.
+        assert format_scheduler_spec(canonical) == canonical
+
+    @given(valid_specs(), st.integers(0, 2**31))
+    def test_parsed_specs_build_or_reject_cleanly(self, text, seed):
+        try:
+            scheduler = parse_scheduler_spec(text).build(seed=seed)
+        except ConfigurationError:
+            return  # semantically rejected (e.g. chaos:epoch=0) — cleanly
+        assert scheduler.next_batch([0, 1, 2])  # non-empty batch contract
+
+    def test_degenerate_parameters_rejected_at_construction(self):
+        # chaos:epoch=0 used to construct fine and ZeroDivisionError on
+        # the first batch (found by the property above) — both now fail
+        # loudly while the spec string is still in view.
+        with pytest.raises(ConfigurationError, match="epoch must be >= 1"):
+            parse_scheduler_spec("chaos:epoch=0").build()
+        with pytest.raises(ConfigurationError, match="burst length must be >= 1"):
+            parse_scheduler_spec("burst:burst=0").build()
