@@ -1,0 +1,42 @@
+"""Fault-tolerant campaign orchestration over sweeps and fuzzing.
+
+A *campaign* takes a workload this repo already knows how to execute —
+a :class:`~repro.experiments.sweep.SweepSpec` grid or a
+:class:`~repro.fuzz.spec.FuzzSpec` budget — and runs it to convergence
+on a fleet of worker processes that are allowed to crash, wedge, or go
+silent at any point, without corrupting results or losing work:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` and its
+  decomposition into spec-hash-keyed :class:`WorkUnit`\\ s,
+* :mod:`repro.campaign.lease` — the pure protocol core: expiring
+  leases, heartbeat renewal, deterministic backoff, the retry budget
+  and quarantine state machine,
+* :mod:`repro.campaign.coordinator` — :func:`run_campaign`, the event
+  loop that leases units, reaps dead workers, merges streamed fuzz
+  coverage, journals everything to the store's campaign ledger, and
+  degrades gracefully on SIGINT/SIGTERM,
+* :mod:`repro.campaign.worker` — the worker process entry point,
+* :mod:`repro.campaign.chaos` — the deterministic fault-injection
+  harness (:class:`ChaosPlan`) used by the chaos acceptance tests:
+  a chaos-disturbed campaign must converge to a run store
+  byte-identical to an undisturbed serial run's.
+"""
+
+from repro.campaign.chaos import ChaosFault, ChaosPlan, parse_chaos_spec
+from repro.campaign.coordinator import CampaignOutcome, run_campaign
+from repro.campaign.lease import Lease, LeaseTable, UnitTracker, backoff_delay
+from repro.campaign.spec import CampaignSpec, WorkUnit
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignSpec",
+    "ChaosFault",
+    "ChaosPlan",
+    "Lease",
+    "LeaseTable",
+    "UnitTracker",
+    "WorkUnit",
+    "backoff_delay",
+    "parse_chaos_spec",
+    "run_campaign",
+]

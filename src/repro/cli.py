@@ -27,6 +27,12 @@ Commands:
   checker cannot exhaust: mutated activation schedules, online property
   oracles, delta-debugged minimal counterexamples archived as failure
   artifacts,
+* ``campaign``      — fault-tolerant multi-worker orchestration of a
+  sweep grid or fuzzing budget: spec-hash-keyed work units under
+  expiring leases, crashed/stalled/silent workers replaced and their
+  units re-issued with backoff, permanently wedged units quarantined
+  as poison artifacts, everything journaled for exact resume
+  (``--chaos`` injects deterministic worker faults for testing),
 * ``report``        — re-run the experiment suite, emit markdown
   (``--store DIR`` renders archived runs without re-executing).
 
@@ -55,7 +61,7 @@ import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.render import render_gaps, render_positions
-from repro.errors import ReproError
+from repro.errors import CampaignInterrupted, ReproError
 from repro.experiments.impossibility import demonstrate_impossibility
 from repro.experiments.lower_bound import quarter_sweep
 from repro.experiments.runner import run_experiment
@@ -104,6 +110,20 @@ def _parse_scheduler_list(text: str) -> List[str]:
     """
     separator = ";" if (";" in text or ":" in text) else ","
     return [part.strip() for part in text.split(separator) if part.strip()]
+
+
+def _require_positive_workers(value: Optional[int], flag: str) -> None:
+    """Reject zero/negative worker counts with the usage-error exit (2).
+
+    ``None`` means "use the default" and is fine; an explicit 0 or
+    negative is always a mistake and deserves a one-line diagnosis
+    instead of a pool traceback.
+    """
+    if value is not None and value < 1:
+        raise ReproError(
+            f"{flag} must be >= 1 (got {value}); "
+            f"omit {flag} to use the default"
+        )
 
 
 def _placement_spec(args: argparse.Namespace) -> PlacementSpec:
@@ -239,6 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--json", action="store_true",
         help="emit the full matching records as JSON",
+    )
+    query_parser.add_argument(
+        "--digest", action="store_true",
+        help=(
+            "print only the store's logical content digest (order- and "
+            "shard-independent SHA-256 over all records; two stores with "
+            "identical digests archived identical runs)"
+        ),
     )
 
     sweep_parser = commands.add_parser("sweep", help="Table 1 style (n,k) sweep")
@@ -508,6 +536,97 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    campaign_parser = commands.add_parser(
+        "campaign",
+        help="fault-tolerant multi-worker campaign over a sweep or fuzz workload",
+        description=(
+            "Decompose a sweep grid or a fuzzing budget into spec-hash-keyed "
+            "work units and drive them to convergence on a fleet of worker "
+            "processes under expiring leases: crashed, wedged or silent "
+            "workers are detected (heartbeat TTL + per-unit wall-clock "
+            "timeout), their units re-issued with exponential backoff, and "
+            "units that exhaust the retry budget are quarantined as poison "
+            "artifacts under <store>/quarantine/ while the rest of the "
+            "campaign completes.  All progress is journaled in the store; "
+            "re-running the same command resumes from where it stopped.  "
+            "Exit code: 0 converged clean, 1 quarantined units or fuzz "
+            "violations, 130 interrupted (SIGINT/SIGTERM)."
+        ),
+    )
+    campaign_parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="run a serialized CampaignSpec JSON (workload flags ignored)",
+    )
+    campaign_parser.add_argument(
+        "--fuzz-spec", default=None, metavar="PATH",
+        help="fuzz campaign: shard this serialized FuzzSpec across the fleet",
+    )
+    campaign_parser.add_argument(
+        "--algorithms", default="known_k_full",
+        help="sweep campaign: comma-separated algorithm names",
+    )
+    campaign_parser.add_argument(
+        "--grid", type=_parse_grid, default=[(64, 8), (128, 16)],
+        help="sweep campaign: comma-separated NxK pairs, e.g. 64x8,128x16",
+    )
+    campaign_parser.add_argument(
+        "--schedulers", default="sync",
+        help="sweep campaign: scheduler spec strings (';' or ',' separated)",
+    )
+    campaign_parser.add_argument("--trials", type=int, default=1)
+    campaign_parser.add_argument("--seed", type=int, default=0, help="base seed")
+    campaign_parser.add_argument(
+        "--max-steps", type=int, default=None,
+        help="sweep campaign: per-run atomic-action cap",
+    )
+    campaign_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the fleet (dead ones are replaced)",
+    )
+    campaign_parser.add_argument(
+        "--lease-ttl", type=float, default=10.0, metavar="SECONDS",
+        help="lease expires after this much heartbeat silence",
+    )
+    campaign_parser.add_argument(
+        "--unit-timeout", type=float, default=120.0, metavar="SECONDS",
+        help=(
+            "hard per-unit wall-clock budget; heartbeats cannot extend it "
+            "(catches workers that stall without crashing)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--max-retries", type=int, default=3,
+        help="re-issues per unit before it is quarantined",
+    )
+    campaign_parser.add_argument(
+        "--backoff-base", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential re-issue backoff (with jitter)",
+    )
+    campaign_parser.add_argument(
+        "--shards", type=int, default=4,
+        help="fuzz campaign: independent shards the budget is split into",
+    )
+    campaign_parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help=(
+            "fault-injection plan for testing the campaign machinery, e.g. "
+            "'seed=1,kill=0.3' or 'kill=0.2,stall=0.1,poison=ab12' "
+            "(keys: seed, kill, stall, silence, stall_seconds, "
+            "silence_seconds, poison)"
+        ),
+    )
+    campaign_parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="run store receiving all records, failures, ledger and quarantine",
+    )
+    campaign_parser.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help=(
+            "skip units already completed per the store and campaign ledger "
+            "(the default; --no-resume re-executes everything)"
+        ),
+    )
+
     return parser
 
 
@@ -625,6 +744,7 @@ def _command_psweep(args: argparse.Namespace) -> int:
         summarize_rows,
     )
 
+    _require_positive_workers(args.jobs, "--jobs")
     if args.resume is not None and not args.store:
         raise ReproError(
             "--resume/--no-resume controls how archived cells are reused "
@@ -645,9 +765,24 @@ def _command_psweep(args: argparse.Namespace) -> int:
         from repro.store import RunStore
 
         store = RunStore(args.store)
-    outcome = execute_sweep(
-        spec, processes=args.jobs, store=store, resume=resume
-    )
+    try:
+        outcome = execute_sweep(
+            spec, processes=args.jobs, store=store, resume=resume
+        )
+    except CampaignInterrupted as interrupt:
+        # Graceful degradation: everything completed before the ^C is
+        # already flushed (and archived when --store was given) — report
+        # the partial accounting and how to pick the sweep back up.
+        partial = interrupt.outcome
+        print(f"\ninterrupted: {interrupt}")
+        if partial is not None:
+            print(
+                f"progress: {len(partial.rows)}/{partial.total} cells done "
+                f"({partial.executed} executed, {partial.cached} cached)"
+            )
+        if interrupt.resume_hint:
+            print(f"resume: {interrupt.resume_hint}")
+        return 130
     rows = outcome.rows
     print(f"{len(rows)} cells "
           f"({len(spec.algorithms)} algorithms x {len(spec.grid)} sizes x "
@@ -830,6 +965,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     from repro.analysis.fuzzing import coverage_growth_rows, describe_growth
     from repro.fuzz import FuzzSpec, fuzz_parallel
 
+    _require_positive_workers(args.jobs, "--jobs")
     if args.spec:
         spec = FuzzSpec.load(args.spec)
     else:
@@ -870,10 +1006,31 @@ def _command_fuzz(args: argparse.Namespace) -> int:
                 "sharded into independent campaigns, so neither is shown",
                 file=sys.stderr,
             )
-        outcome = fuzz_parallel(
-            spec, args.jobs, keep_going=args.keep_going,
-            shrink=not args.no_shrink,
-        )
+        try:
+            outcome = fuzz_parallel(
+                spec, args.jobs, keep_going=args.keep_going,
+                shrink=not args.no_shrink,
+            )
+        except CampaignInterrupted as interrupt:
+            print(f"\ninterrupted: {interrupt}")
+            partial = interrupt.outcome
+            if partial is not None:
+                print(f"progress: {partial.describe()}")
+                if args.store and partial.failures:
+                    from repro.store import RunStore
+
+                    archive = RunStore(args.store).failures
+                    for failure in partial.failures:
+                        path = archive.put(
+                            failure.content_hash, failure.to_dict()
+                        )
+                        print(
+                            f"archived failure "
+                            f"{failure.content_hash[:16]} -> {path}"
+                        )
+            if interrupt.resume_hint:
+                print(f"resume: {interrupt.resume_hint}")
+            return 130
     else:
         from repro.fuzz import ScheduleFuzzer
 
@@ -922,10 +1079,87 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, parse_chaos_spec, run_campaign
+
+    _require_positive_workers(args.workers, "--workers")
+    _require_positive_workers(args.shards, "--shards")
+    if args.spec:
+        spec = CampaignSpec.load(args.spec)
+    elif args.fuzz_spec:
+        from repro.fuzz import FuzzSpec
+
+        spec = CampaignSpec(
+            kind="fuzz",
+            fuzz=FuzzSpec.load(args.fuzz_spec),
+            workers=args.workers,
+            lease_ttl=args.lease_ttl,
+            unit_timeout=args.unit_timeout,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff_base,
+            shards=args.shards,
+        )
+    else:
+        from repro.experiments.sweep import SweepSpec
+
+        sweep = SweepSpec(
+            algorithms=tuple(
+                name.strip()
+                for name in args.algorithms.split(",")
+                if name.strip()
+            ),
+            grid=tuple(args.grid),
+            schedulers=tuple(_parse_scheduler_list(args.schedulers)),
+            trials=args.trials,
+            base_seed=args.seed,
+            max_steps=args.max_steps,
+        )
+        spec = CampaignSpec(
+            kind="sweep",
+            sweep=sweep,
+            workers=args.workers,
+            lease_ttl=args.lease_ttl,
+            unit_timeout=args.unit_timeout,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff_base,
+        )
+    chaos = parse_chaos_spec(args.chaos) if args.chaos else None
+    print(f"campaign {spec.content_hash()[:16]}: {spec.describe()}")
+    if chaos:
+        print(f"fault injection: {chaos.describe()}")
+    outcome = run_campaign(
+        spec,
+        args.store,
+        chaos=chaos,
+        resume=args.resume,
+        progress=lambda text: print(f"  {text}"),
+        install_signal_handlers=True,
+    )
+    print(outcome.describe())
+    for report in outcome.quarantined:
+        print(
+            f"quarantined {report['unit'][:16]} after {report['attempts']} "
+            f"attempt(s) (last cause: {report['last_cause']}); artifact in "
+            f"{args.store}/quarantine/"
+        )
+    if outcome.failures:
+        print(f"{len(outcome.failures)} fuzz failure(s) archived in "
+              f"{args.store}/failures/")
+    if outcome.interrupted:
+        print(f"interrupted; resume with: {outcome.resume_command}")
+    return outcome.exit_code
+
+
 def _command_query(args: argparse.Namespace) -> int:
     from repro.store import RunStore
 
     store = RunStore(args.store, create=False)
+    if args.digest:
+        # The logical content digest: stable across shard layout, write
+        # order and timestamps, so CI can assert two stores archived
+        # identical runs with a one-line comparison.
+        print(store.digest())
+        return 0
     records = list(
         store.query(
             algorithm=args.algorithm,
@@ -1000,6 +1234,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "timeline": _command_timeline,
         "mc": _command_mc,
         "fuzz": _command_fuzz,
+        "campaign": _command_campaign,
         "compare": _command_compare,
         "report": _command_report,
     }

@@ -43,3 +43,28 @@ class SimulationLimitExceeded(SimulationError):
 
 class VerificationError(ReproError):
     """A terminal configuration failed the uniform-deployment predicate."""
+
+
+class CampaignInterrupted(ReproError):
+    """A long-running campaign was interrupted (SIGINT/SIGTERM) cleanly.
+
+    Raised *after* graceful degradation has already happened: completed
+    work is flushed to the store, workers are torn down, and the
+    carried ``outcome`` reports everything that finished.  CLI handlers
+    catch this before the generic :class:`ReproError` path and turn it
+    into accounting plus an exact resume command instead of a
+    traceback.
+    """
+
+    def __init__(
+        self, message: str, *, outcome=None, resume_hint: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.outcome = outcome
+        self.resume_hint = resume_hint
+
+
+class ProvenanceWarning(UserWarning):
+    """Archived records being reused were computed under a different
+    environment fingerprint (interpreter, platform or package version)
+    than the current one — results may mix provenance."""

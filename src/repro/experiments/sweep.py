@@ -54,7 +54,11 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    CampaignInterrupted,
+    ConfigurationError,
+    ProvenanceWarning,
+)
 from repro.experiments.runner import RunResult, run_experiment
 from repro.registry import (
     build_scheduler,
@@ -64,7 +68,7 @@ from repro.registry import (
 )
 from repro.sim.scheduler import Scheduler
 from repro.spec import ExperimentSpec, PlacementSpec
-from repro.store import RunRecord, RunStore
+from repro.store import RunRecord, RunStore, env_fingerprint
 
 __all__ = [
     "SCHEDULER_SPECS",
@@ -212,6 +216,50 @@ class SweepSpec:
             "max_steps": self.max_steps,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
+        """Inverse of :meth:`to_dict` (the ``--spec file.json`` path).
+
+        Grid pairs arrive as 2-lists from JSON; everything else maps
+        straight onto the dataclass, with unknown keys rejected loudly
+        so a mistyped field never silently falls back to a default.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"sweep spec must be a dict, got {type(data).__name__}"
+            )
+        unknown = set(data) - {
+            "algorithms", "grid", "schedulers", "trials",
+            "base_seed", "max_steps",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"sweep spec has unknown keys {sorted(unknown)}"
+            )
+        try:
+            algorithms = tuple(data["algorithms"])
+            grid_pairs = data["grid"]
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"sweep spec is missing required key {missing}"
+            ) from None
+        grid = []
+        for pair in grid_pairs:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ConfigurationError(
+                    f"sweep grid entries must be [n, k] pairs, got {pair!r}"
+                )
+            grid.append((int(pair[0]), int(pair[1])))
+        max_steps = data.get("max_steps")
+        return cls(
+            algorithms=algorithms,
+            grid=tuple(grid),
+            schedulers=tuple(data.get("schedulers", ("sync",))),
+            trials=int(data.get("trials", 1)),
+            base_seed=int(data.get("base_seed", 0)),
+            max_steps=None if max_steps is None else int(max_steps),
+        )
+
 
 def expand_cells(spec: SweepSpec) -> List[SweepCell]:
     """Flatten the spec into cells in canonical (stable) order."""
@@ -358,9 +406,31 @@ def execute_sweep(
         # Bulk-read the hits (one open per shard): on a fully warm
         # resume this IS the whole sweep, so per-record opens would
         # dominate the wall clock.
+        foreign_envs: Dict[Tuple[Tuple[str, str], ...], int] = {}
+        current_env = env_fingerprint()
         for index, record in zip(hit_indices, store.get_many(hit_hashes)):
             rows[index] = cell_row(cells[index], record.to_run_result())
+            if record.env and record.env != current_env:
+                key = tuple(sorted(record.env.items()))
+                foreign_envs[key] = foreign_envs.get(key, 0) + 1
         cached = len(hit_indices)
+        if foreign_envs:
+            # Warn, don't refuse: mixed-provenance archives are often
+            # fine (a patch release, a different host), but they must
+            # never be *silent* — the consumer decides whether the mix
+            # matters for their numbers.
+            details = "; ".join(
+                f"{count} from {dict(env)}"
+                for env, count in sorted(foreign_envs.items())
+            )
+            warnings.warn(
+                f"resume is reusing {sum(foreign_envs.values())} archived "
+                f"cell(s) computed under a different environment than the "
+                f"current {current_env} ({details}); pass resume=False to "
+                f"recompute them here",
+                ProvenanceWarning,
+                stacklevel=2,
+            )
     else:
         pending = list(enumerate(cells))
 
@@ -382,22 +452,55 @@ def execute_sweep(
         if progress is not None:
             progress(done, len(pending))
 
-    if pending:
-        if processes is None:
-            processes = multiprocessing.cpu_count()
-        processes = max(1, min(processes, len(pending)))
-        if processes == 1:
-            for done, (index, cell) in enumerate(pending, start=1):
-                _, payload = worker((index, cell))
-                _complete(index, payload, done)
-        else:
-            chunksize = max(1, len(pending) // (processes * 4))
-            with multiprocessing.Pool(processes) as pool:
-                completed = pool.imap_unordered(
-                    worker, pending, chunksize=chunksize
-                )
-                for done, (index, payload) in enumerate(completed, start=1):
+    executed = 0
+    try:
+        if pending:
+            if processes is None:
+                processes = multiprocessing.cpu_count()
+            processes = max(1, min(processes, len(pending)))
+            if processes == 1:
+                for done, (index, cell) in enumerate(pending, start=1):
+                    _, payload = worker((index, cell))
                     _complete(index, payload, done)
+                    executed = done
+            else:
+                chunksize = max(1, len(pending) // (processes * 4))
+                with multiprocessing.Pool(processes) as pool:
+                    completed = pool.imap_unordered(
+                        worker, pending, chunksize=chunksize
+                    )
+                    for done, (index, payload) in enumerate(completed, start=1):
+                        _complete(index, payload, done)
+                        executed = done
+    except KeyboardInterrupt:
+        # Graceful degradation: everything completed so far is already
+        # flushed (the store is written per-completion, before the row
+        # is exposed), so tear down the pool and hand the caller an
+        # honest partial outcome plus the exact way to finish the job —
+        # never a raw traceback over work that is safely archived.
+        partial = SweepOutcome(
+            rows=[row for row in rows if row is not None],
+            total=len(cells),
+            executed=executed,
+            cached=cached,
+        )
+        if store is not None:
+            resume_hint = (
+                f"re-run the same sweep with store={store.root} and "
+                f"resume=True to finish the remaining "
+                f"{len(pending) - executed} cell(s)"
+            )
+        else:
+            resume_hint = (
+                "no store was attached, so the partial rows are lost on "
+                "exit; re-run with a store to make sweeps resumable"
+            )
+        raise CampaignInterrupted(
+            f"sweep interrupted: {executed + cached} of {len(cells)} "
+            f"cells done ({executed} executed, {cached} cached)",
+            outcome=partial,
+            resume_hint=resume_hint,
+        ) from None
     return SweepOutcome(
         rows=rows, total=len(cells), executed=len(pending), cached=cached
     )

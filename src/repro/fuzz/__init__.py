@@ -26,7 +26,14 @@ CLI: ``repro fuzz --algorithm wake_race --n 16 --k 4``.
 from repro.fuzz.corpus import Corpus, CorpusEntry
 from repro.fuzz.coverage import CoverageMap, coverage_key, enabled_pattern
 from repro.fuzz.failure import FailureCase
-from repro.fuzz.fuzzer import FuzzOutcome, ScheduleFuzzer, fuzz, fuzz_parallel
+from repro.fuzz.fuzzer import (
+    FuzzOutcome,
+    ScheduleFuzzer,
+    fuzz,
+    fuzz_parallel,
+    merge_outcomes,
+    shard_specs,
+)
 from repro.fuzz.mutate import MUTATION_OPS, mutate_schedule, random_schedule, splice
 from repro.fuzz.spec import FuzzSpec, replay_spec_string
 
@@ -43,8 +50,10 @@ __all__ = [
     "enabled_pattern",
     "fuzz",
     "fuzz_parallel",
+    "merge_outcomes",
     "mutate_schedule",
     "random_schedule",
     "replay_spec_string",
+    "shard_specs",
     "splice",
 ]

@@ -45,6 +45,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import CampaignInterrupted
 from repro.fuzz.corpus import Corpus, CorpusEntry
 from repro.fuzz.coverage import CoverageMap
 from repro.fuzz.failure import FailureCase
@@ -57,7 +58,14 @@ from repro.registry import build_scheduler
 from repro.ring.placement import Placement
 from repro.sim.scheduler import Scheduler
 
-__all__ = ["FuzzOutcome", "ScheduleFuzzer", "fuzz", "fuzz_parallel"]
+__all__ = [
+    "FuzzOutcome",
+    "ScheduleFuzzer",
+    "fuzz",
+    "fuzz_parallel",
+    "merge_outcomes",
+    "shard_specs",
+]
 
 #: Adversary families whose decisions seed the corpus (plus one laggard
 #: spec per victim id, added per instance at campaign start).
@@ -391,74 +399,60 @@ def fuzz(spec: FuzzSpec, **kwargs) -> FuzzOutcome:
     return ScheduleFuzzer(spec, **kwargs).run()
 
 
-def _fuzz_shard(
-    payload: Tuple[Dict[str, object], bool, bool]
-) -> Tuple[FuzzOutcome, List[int], List[int]]:
-    """Pool worker: one deterministic shard campaign plus its raw coverage."""
-    spec_dict, keep_going, shrink = payload
-    fuzzer = ScheduleFuzzer(
-        FuzzSpec.from_dict(spec_dict), keep_going=keep_going, shrink=shrink
-    )
-    outcome = fuzzer.run()
-    state_keys, pattern_keys = fuzzer.coverage.export_keys()
-    return outcome, state_keys, pattern_keys
+def shard_specs(spec: FuzzSpec, shards: int) -> List[FuzzSpec]:
+    """Split ``spec``'s budget into ``shards`` independent campaign specs.
 
-
-def fuzz_parallel(
-    spec: FuzzSpec,
-    jobs: int,
-    *,
-    keep_going: bool = False,
-    shrink: bool = True,
-) -> FuzzOutcome:
-    """Shard ``spec``'s budget across ``jobs`` worker processes.
-
-    Each shard is an independent deterministic campaign (seed derived
-    from the parent spec and the shard index, so shards explore
-    *different* placements and schedules); the merged outcome unions
-    coverage keys, concatenates failures (deduplicated by triggering
-    spec hash), sums runs/steps and reports the largest shard corpus
-    (every real corpus is bounded by the spec's cap, so the merged
-    number is too).  Per-shard growth histories do
-    not merge meaningfully (their run counters and coverage maps are
-    disjoint), so the merged ``history`` is empty rather than
-    misleading — run single-job campaigns for growth curves.
+    The one shard-decomposition in the codebase: :func:`fuzz_parallel`
+    and the campaign coordinator's fuzz work units both call it, so a
+    pool shard and a leased shard with the same index are the *same*
+    deterministic campaign (same derived seed, same content hash).
+    Shards whose budget share rounds to zero are dropped.
     """
-    jobs = max(1, jobs)
-    if jobs == 1:
-        return fuzz(spec, keep_going=keep_going, shrink=shrink)
-    share, remainder = divmod(spec.budget, jobs)
-    shards = []
-    for index in range(jobs):
+    shards = max(1, shards)
+    share, remainder = divmod(spec.budget, shards)
+    specs = []
+    for index in range(shards):
         budget = share + (1 if index < remainder else 0)
         if budget < 1:
             continue
-        shards.append(
-            (
-                spec.with_options(
-                    budget=budget, seed=spec.derive_seed(f"shard|{index}")
-                ).to_dict(),
-                keep_going,
-                shrink,
+        specs.append(
+            spec.with_options(
+                budget=budget, seed=spec.derive_seed(f"shard|{index}")
             )
         )
-    import multiprocessing
+    return specs
 
-    with multiprocessing.Pool(min(jobs, len(shards))) as pool:
-        results = pool.map(_fuzz_shard, shards)
+
+def merge_outcomes(
+    spec: FuzzSpec,
+    results: Sequence[Tuple[FuzzOutcome, List[int], List[int]]],
+    *,
+    complete: Optional[bool] = None,
+) -> FuzzOutcome:
+    """Merge shard campaign outcomes into one campaign-level outcome.
+
+    Coverage keys union (shard-mergeable by design), failures
+    concatenate in the given order deduplicated by triggering spec
+    hash, runs/steps sum, and the corpus reports the largest shard's
+    (every real corpus is bounded by the spec's cap, so the merged
+    number is too).  Per-shard growth histories do not merge
+    meaningfully (their run counters and coverage maps are disjoint),
+    so the merged ``history`` is empty rather than misleading — run
+    single-job campaigns for growth curves.  ``complete`` overrides
+    the all-shards conjunction (a partially merged interrupt is never
+    "complete" even if every *received* shard was).
+    """
     coverage = CoverageMap()
     failures: List[FailureCase] = []
     seen_hashes = set()
     runs = total_steps = corpus_size = 0
-    complete = True
+    all_complete = True
     for outcome, state_keys, pattern_keys in results:
         coverage.merge_keys(state_keys, pattern_keys)
         runs += outcome.runs
         total_steps += outcome.steps
-        # Largest shard corpus, not the sum: every real corpus is bounded
-        # by spec.corpus_size and the merged number should be too.
         corpus_size = max(corpus_size, outcome.corpus_size)
-        complete = complete and outcome.complete
+        all_complete = all_complete and outcome.complete
         for failure in outcome.failures:
             if failure.content_hash not in seen_hashes:
                 seen_hashes.add(failure.content_hash)
@@ -472,5 +466,77 @@ def fuzz_parallel(
         patterns=coverage.patterns,
         corpus_size=corpus_size,
         history=(),
-        complete=complete,
+        complete=all_complete if complete is None else complete,
+    )
+
+
+def _fuzz_shard(
+    payload: Tuple[int, Dict[str, object], bool, bool]
+) -> Tuple[int, FuzzOutcome, List[int], List[int]]:
+    """Pool worker: one deterministic shard campaign plus its raw coverage."""
+    index, spec_dict, keep_going, shrink = payload
+    fuzzer = ScheduleFuzzer(
+        FuzzSpec.from_dict(spec_dict), keep_going=keep_going, shrink=shrink
+    )
+    outcome = fuzzer.run()
+    state_keys, pattern_keys = fuzzer.coverage.export_keys()
+    return index, outcome, state_keys, pattern_keys
+
+
+def fuzz_parallel(
+    spec: FuzzSpec,
+    jobs: int,
+    *,
+    keep_going: bool = False,
+    shrink: bool = True,
+) -> FuzzOutcome:
+    """Shard ``spec``'s budget across ``jobs`` worker processes.
+
+    Each shard is an independent deterministic campaign
+    (:func:`shard_specs`: seeds derived from the parent spec and the
+    shard index, so shards explore *different* placements and
+    schedules); shard results merge via :func:`merge_outcomes` in shard
+    order, so the returned outcome is identical regardless of which
+    worker finished first.
+
+    A ``KeyboardInterrupt`` mid-pool degrades gracefully: the pool is
+    torn down and a :class:`~repro.errors.CampaignInterrupted` carries
+    the outcome merged from every shard that *did* finish (flagged
+    ``complete=False``), so the CLI can archive partial failures and
+    report honest coverage instead of dumping a traceback.
+    """
+    jobs = max(1, jobs)
+    if jobs == 1:
+        return fuzz(spec, keep_going=keep_going, shrink=shrink)
+    shards = [
+        (index, shard.to_dict(), keep_going, shrink)
+        for index, shard in enumerate(shard_specs(spec, jobs))
+    ]
+    import multiprocessing
+
+    received: Dict[int, Tuple[FuzzOutcome, List[int], List[int]]] = {}
+    try:
+        with multiprocessing.Pool(min(jobs, len(shards))) as pool:
+            for index, outcome, state_keys, pattern_keys in (
+                pool.imap_unordered(_fuzz_shard, shards)
+            ):
+                received[index] = (outcome, state_keys, pattern_keys)
+    except KeyboardInterrupt:
+        partial = merge_outcomes(
+            spec,
+            [received[index] for index in sorted(received)],
+            complete=False,
+        )
+        raise CampaignInterrupted(
+            f"fuzz campaign interrupted: {len(received)} of {len(shards)} "
+            f"shards finished ({partial.runs} runs, "
+            f"{len(partial.failures)} failure(s))",
+            outcome=partial,
+            resume_hint=(
+                "fuzz shards are deterministic: re-run the same spec to "
+                "repeat the campaign, or lower --budget for a shorter one"
+            ),
+        ) from None
+    return merge_outcomes(
+        spec, [received[index] for index in sorted(received)]
     )

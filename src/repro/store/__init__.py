@@ -20,6 +20,7 @@ O(cells).
 """
 
 from repro.store.cache import cached_run
+from repro.store.campaigns import CampaignLedger, QuarantineArchive
 from repro.store.failures import FailureArchive
 from repro.store.jsonl import RunStore
 from repro.store.records import (
@@ -32,7 +33,9 @@ from repro.store.records import (
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "CampaignLedger",
     "FailureArchive",
+    "QuarantineArchive",
     "RunRecord",
     "RunStore",
     "cached_run",

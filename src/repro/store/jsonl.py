@@ -27,6 +27,7 @@ functions of their spec — so for them the choice is immaterial.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
@@ -39,6 +40,7 @@ from repro.errors import ConfigurationError
 from repro.store.records import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store.campaigns import CampaignLedger, QuarantineArchive
     from repro.store.failures import FailureArchive
 
 __all__ = ["RunStore"]
@@ -336,6 +338,46 @@ class RunStore:
         from repro.store.failures import FailureArchive
 
         return FailureArchive(self.root / "failures")
+
+    @property
+    def quarantine(self) -> "QuarantineArchive":
+        """The store's quarantined-unit archive (``<root>/quarantine/``).
+
+        Campaign work units that exhausted their retry budget land here
+        as poison artifacts; see
+        :class:`repro.store.campaigns.QuarantineArchive`.
+        """
+        from repro.store.campaigns import QuarantineArchive
+
+        return QuarantineArchive(self.root / "quarantine")
+
+    def campaign_ledger(self, work_hash: str) -> "CampaignLedger":
+        """The lease-event journal of one campaign (``<root>/campaign/``)."""
+        from repro.store.campaigns import CampaignLedger
+
+        return CampaignLedger(self.root / "campaign", work_hash)
+
+    def digest(self) -> str:
+        """A stable SHA-256 over the store's *logical* record contents.
+
+        Hashes every record's canonical ``to_dict()`` JSON (which
+        excludes the ``_ts`` write-stamp envelope), sorted by content
+        hash — so two stores hold the same digest exactly when they
+        archived the same set of records, regardless of shard pid
+        names, write order, duplicate appends or wall-clock stamps.
+        This is the equality the chaos harness asserts: a
+        fault-disturbed campaign's store must digest identically to an
+        undisturbed serial run's.
+        """
+        hasher = hashlib.sha256()
+        for content_hash in sorted(self._index):
+            record = self._load(self._index[content_hash])
+            canonical = json.dumps(
+                record.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            hasher.update(canonical.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
     def __len__(self) -> int:
         return len(self._index)

@@ -1,0 +1,426 @@
+"""Tests for fault-tolerant campaign orchestration (repro.campaign).
+
+The acceptance bar for the whole subsystem is byte-identity: a campaign
+disturbed by deterministic chaos faults (worker SIGKILLs, stalls,
+heartbeat silence) must converge to a run store whose logical digest
+equals an undisturbed serial run's.  Everything here is pinned — chaos
+decisions are pure hash functions of (seed, unit, attempt), so these
+multi-process tests replay exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ChaosPlan,
+    parse_chaos_spec,
+    run_campaign,
+)
+from repro.campaign.spec import WorkUnit
+from repro.errors import (
+    CampaignInterrupted,
+    ConfigurationError,
+    ProvenanceWarning,
+    ReproError,
+)
+from repro.experiments.sweep import SweepSpec, execute_sweep
+from repro.fuzz import FuzzSpec, fuzz, shard_specs
+from repro.spec import PlacementSpec
+from repro.store import RunStore
+
+
+def small_sweep() -> SweepSpec:
+    return SweepSpec(
+        algorithms=("known_k_full",),
+        grid=((6, 2), (8, 2)),
+        schedulers=("sync", "random"),
+        trials=1,
+        base_seed=11,
+        max_steps=2000,
+    )
+
+
+def campaign_spec(**overrides) -> CampaignSpec:
+    options = dict(
+        kind="sweep",
+        sweep=small_sweep(),
+        workers=2,
+        lease_ttl=2.0,
+        unit_timeout=60.0,
+        max_retries=3,
+        backoff_base=0.02,
+        backoff_cap=0.2,
+    )
+    options.update(overrides)
+    return CampaignSpec(**options)
+
+
+def serial_digest(tmp_path, name="serial") -> str:
+    store = RunStore(tmp_path / name)
+    execute_sweep(small_sweep(), processes=1, store=store)
+    return store.digest()
+
+
+# ---------------------------------------------------------------------------
+# CampaignSpec
+
+
+class TestCampaignSpec:
+    def test_round_trip(self):
+        spec = campaign_spec()
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+        assert spec.content_hash() == CampaignSpec.from_json(
+            spec.to_json()
+        ).content_hash()
+
+    def test_sweep_units_keyed_by_experiment_spec_hash(self):
+        spec = campaign_spec()
+        units = spec.build_units()
+        assert len(units) == 4
+        assert all(unit.kind == "cell" for unit in units)
+        assert len({unit.key for unit in units}) == 4
+        # Keys ARE the cell ExperimentSpec content hashes: the same key
+        # addresses the unit, its lease, and its archived record.
+        from repro.experiments.sweep import expand_cells
+
+        expected = [
+            cell.to_experiment_spec().content_hash()
+            for cell in expand_cells(spec.sweep)
+        ]
+        assert [unit.key for unit in units] == expected
+
+    def test_fuzz_units_are_shards(self):
+        fuzz_spec = FuzzSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(
+                kind="random", ring_size=8, agent_count=2, seed=0
+            ),
+            budget=10,
+            placements=2,
+            seed=0,
+        )
+        spec = campaign_spec(kind="fuzz", sweep=None, fuzz=fuzz_spec, shards=3)
+        units = spec.build_units()
+        shards = shard_specs(fuzz_spec, 3)
+        assert [unit.key for unit in units] == [
+            shard.content_hash() for shard in shards
+        ]
+        assert sum(
+            FuzzSpec.from_dict(unit.payload["spec"]).budget for unit in units
+        ) == fuzz_spec.budget
+
+    def test_work_hash_ignores_fleet_knobs(self):
+        # Resuming with a different fleet must find the same ledger.
+        a = campaign_spec(workers=2, lease_ttl=2.0, max_retries=3)
+        b = campaign_spec(workers=7, lease_ttl=9.0, max_retries=1)
+        assert a.work_hash() == b.work_hash()
+        assert a.content_hash() != b.content_hash()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            campaign_spec(workers=0)
+        with pytest.raises(ConfigurationError):
+            campaign_spec(lease_ttl=0.0)
+        with pytest.raises(ConfigurationError):
+            campaign_spec(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(kind="sweep", sweep=None)
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(kind="nope", sweep=small_sweep())
+
+    def test_work_unit_round_trip(self):
+        unit = campaign_spec().build_units()[0]
+        assert WorkUnit.from_dict(unit.to_dict()) == unit
+
+
+# ---------------------------------------------------------------------------
+# ChaosPlan
+
+
+class TestChaosPlan:
+    def test_parse_round_trip(self):
+        plan = parse_chaos_spec("seed=7,kill=0.4,stall=0.1,poison=ab12")
+        assert plan.seed == 7
+        assert plan.kill == pytest.approx(0.4)
+        assert plan.poison == ("ab12",)
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+    def test_parse_rejects_unknown_and_inactive(self):
+        with pytest.raises(ReproError):
+            parse_chaos_spec("kaboom=1")
+        with pytest.raises(ReproError):
+            parse_chaos_spec("seed=3")  # injects nothing
+        with pytest.raises(ReproError):
+            parse_chaos_spec("kill=oops")
+
+    def test_decisions_are_pure(self):
+        plan = ChaosPlan(seed=1, kill=0.5, stall=0.2, silence=0.2)
+        for attempt in range(1, 6):
+            assert plan.decide("unit", attempt) == plan.decide("unit", attempt)
+
+    def test_poison_outranks_probabilities(self):
+        plan = ChaosPlan(seed=1, poison=("dead",))
+        for attempt in range(1, 10):
+            fault = plan.decide("deadbeef", attempt)
+            assert fault is not None and fault.kind == "kill"
+        assert plan.decide("cafe", 1) is None
+
+    def test_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(kill=1.5)
+        with pytest.raises(ConfigurationError):
+            ChaosPlan(stall=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# run_campaign (multi-process; all instances tiny, all chaos pinned)
+
+
+class TestRunCampaign:
+    def test_undisturbed_campaign_matches_serial_sweep(self, tmp_path):
+        outcome = run_campaign(campaign_spec(), str(tmp_path / "campaign"))
+        assert outcome.exit_code == 0
+        assert outcome.completed == 4 and not outcome.quarantined
+        assert RunStore(tmp_path / "campaign").digest() == serial_digest(
+            tmp_path
+        )
+
+    def test_chaos_killed_campaign_converges_byte_identical(self, tmp_path):
+        """The tentpole acceptance test: deterministic SIGKILLs mid-cell
+        and at unit start, workers replaced, units re-issued — and the
+        final store is byte-identical to an undisturbed serial run."""
+        chaos = ChaosPlan(seed=1, kill=0.5)
+        spec = campaign_spec(lease_ttl=1.0)
+        outcome = run_campaign(spec, str(tmp_path / "campaign"), chaos=chaos)
+        assert outcome.worker_deaths > 0, "chaos injected nothing"
+        assert outcome.reissues > 0
+        assert outcome.exit_code == 0
+        assert outcome.completed == 4 and not outcome.quarantined
+        assert RunStore(tmp_path / "campaign").digest() == serial_digest(
+            tmp_path
+        )
+
+    def test_poison_unit_quarantined_after_budget(self, tmp_path):
+        spec = campaign_spec(lease_ttl=0.8, max_retries=2, backoff_cap=0.1)
+        poison_key = spec.build_units()[1].key
+        chaos = ChaosPlan(seed=1, poison=(poison_key[:12],))
+        outcome = run_campaign(spec, str(tmp_path / "campaign"), chaos=chaos)
+        # Quarantined campaigns exit nonzero but finish everything else.
+        assert outcome.exit_code == 1
+        assert outcome.completed == 3
+        assert len(outcome.quarantined) == 1
+        report = outcome.quarantined[0]
+        assert report["unit"] == poison_key
+        assert report["attempts"] == spec.max_retries + 1
+        store = RunStore(tmp_path / "campaign")
+        artifact = store.quarantine.get(poison_key)
+        assert artifact["report"]["state"] == "quarantined"
+        assert artifact["unit"]["key"] == poison_key
+        ledger = store.campaign_ledger(spec.work_hash())
+        assert ledger.quarantined_units() == {poison_key}
+        history = [e["event"] for e in ledger.history(poison_key)]
+        assert history.count("issue") == spec.max_retries + 1
+        assert history[-1] == "quarantine"
+
+    def test_slow_loris_caught_by_unit_timeout(self, tmp_path):
+        # stall=1.0: every attempt sleeps past the unit deadline while
+        # heartbeating dutifully — only the wall-clock backstop fires.
+        spec = campaign_spec(
+            sweep=SweepSpec(
+                algorithms=("known_k_full",),
+                grid=((6, 2),),
+                schedulers=("sync",),
+                base_seed=11,
+                max_steps=2000,
+            ),
+            workers=1,
+            lease_ttl=0.3,
+            unit_timeout=0.7,
+            max_retries=1,
+            backoff_cap=0.05,
+        )
+        chaos = ChaosPlan(seed=0, stall=1.0, stall_seconds=30.0)
+        outcome = run_campaign(spec, str(tmp_path / "campaign"), chaos=chaos)
+        assert outcome.exit_code == 1
+        assert len(outcome.quarantined) == 1
+        assert outcome.quarantined[0]["last_cause"] == "unit-timeout"
+        ledger = RunStore(tmp_path / "campaign").campaign_ledger(
+            spec.work_hash()
+        )
+        causes = {
+            event["cause"]
+            for event in ledger.events()
+            if event["event"] == "lease-expired"
+        }
+        assert causes == {"unit-timeout"}
+
+    def test_heartbeat_silence_expires_lease(self, tmp_path):
+        # silence=1.0: the worker stays alive but stops heartbeating;
+        # the lease TTL catches it even though the process never died.
+        spec = campaign_spec(
+            sweep=SweepSpec(
+                algorithms=("known_k_full",),
+                grid=((6, 2),),
+                schedulers=("sync",),
+                base_seed=11,
+                max_steps=2000,
+            ),
+            workers=1,
+            lease_ttl=0.3,
+            unit_timeout=30.0,
+            max_retries=1,
+            backoff_cap=0.05,
+        )
+        chaos = ChaosPlan(seed=0, silence=1.0, silence_seconds=30.0)
+        outcome = run_campaign(spec, str(tmp_path / "campaign"), chaos=chaos)
+        assert outcome.exit_code == 1
+        assert outcome.quarantined[0]["last_cause"] == "heartbeat-silence"
+
+    def test_resume_skips_completed_units(self, tmp_path):
+        spec = campaign_spec()
+        root = str(tmp_path / "campaign")
+        first = run_campaign(spec, root)
+        assert first.completed == 4
+        digest = RunStore(root).digest()
+        second = run_campaign(spec, root)
+        assert second.completed == 0 and second.cached == 4
+        assert second.exit_code == 0
+        assert RunStore(root).digest() == digest
+        # A different fleet shape still finds the same ledger/progress.
+        third = run_campaign(campaign_spec(workers=1, lease_ttl=9.0), root)
+        assert third.cached == 4
+
+    def test_stop_when_interrupts_gracefully(self, tmp_path):
+        spec = campaign_spec(workers=1)
+        root = str(tmp_path / "campaign")
+        outcome = run_campaign(
+            spec, root, stop_when=lambda counts: counts["completed"] >= 1
+        )
+        assert outcome.interrupted
+        assert outcome.exit_code == 130
+        assert 1 <= outcome.completed < 4
+        assert "repro campaign --spec" in outcome.resume_command
+        # The resume command's spec file exists and round-trips.
+        spec_path = outcome.resume_command.split()[3]
+        assert CampaignSpec.load(spec_path) == spec
+        # Resuming finishes the remainder and reaches the serial digest.
+        final = run_campaign(spec, root)
+        assert final.exit_code == 0
+        assert final.cached == outcome.completed
+        assert final.completed == 4 - outcome.completed
+        assert RunStore(root).digest() == serial_digest(tmp_path)
+
+    def test_campaign_resume_warns_on_foreign_env(self, tmp_path):
+        spec = campaign_spec()
+        root = str(tmp_path / "campaign")
+        run_campaign(spec, root)
+        _doctor_env(tmp_path / "campaign")
+        with pytest.warns(ProvenanceWarning, match="different environment"):
+            outcome = run_campaign(spec, root)
+        assert outcome.cached == 4
+
+    def test_fuzz_campaign_archives_serial_failures(self, tmp_path):
+        fuzz_spec = FuzzSpec(
+            algorithm="wake_race",
+            placement=PlacementSpec(
+                kind="random", ring_size=16, agent_count=4, seed=0
+            ),
+            budget=30,
+            placements=2,
+            seed=0,
+        )
+        spec = campaign_spec(
+            kind="fuzz", sweep=None, fuzz=fuzz_spec, shards=2,
+            unit_timeout=120.0,
+        )
+        expected = set()
+        runs = 0
+        for shard in shard_specs(fuzz_spec, 2):
+            outcome = fuzz(shard, keep_going=True)
+            runs += outcome.runs
+            expected.update(f.content_hash for f in outcome.failures)
+        root = str(tmp_path / "campaign")
+        outcome = run_campaign(spec, root)
+        assert outcome.fuzz_runs == runs == fuzz_spec.budget
+        assert {f["content_hash"] for f in outcome.failures} == expected
+        assert set(RunStore(root).failures.hashes()) == expected
+        assert outcome.coverage_states > 0
+        # wake_race is the injected bug: finding failures is exit 1.
+        assert outcome.exit_code == 1
+        # Fuzz shards leave no run records; resume rides the ledger.
+        resumed = run_campaign(spec, root)
+        assert resumed.cached == 2 and resumed.completed == 0
+
+
+def _doctor_env(store_root) -> None:
+    """Rewrite archived records as if computed on another machine."""
+    for shard in store_root.glob("shard-*.jsonl"):
+        lines = []
+        for raw in shard.read_text(encoding="utf-8").splitlines():
+            record = json.loads(raw)
+            record["env"] = {"python": "9.9.9", "platform": "elsewhere"}
+            lines.append(json.dumps(record, sort_keys=True))
+        shard.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Graceful interruption of the underlying executors (satellite)
+
+
+class TestSweepInterruption:
+    def test_keyboard_interrupt_flushes_and_hints(self, tmp_path, monkeypatch):
+        """^C mid-sweep: completed cells are archived, the raised
+        CampaignInterrupted carries honest partial accounting and the
+        exact way to finish, and a later resume completes the rest."""
+        import repro.experiments.sweep as sweep_module
+
+        real_worker = sweep_module._record_for_cell
+        calls = {"count": 0}
+
+        def explode_on_third(indexed_cell):
+            if calls["count"] >= 2:
+                raise KeyboardInterrupt()
+            calls["count"] += 1
+            return real_worker(indexed_cell)
+
+        monkeypatch.setattr(
+            sweep_module, "_record_for_cell", explode_on_third
+        )
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(CampaignInterrupted) as info:
+            execute_sweep(small_sweep(), processes=1, store=store)
+        interrupt = info.value
+        assert interrupt.outcome is not None
+        assert len(interrupt.outcome.rows) == 2
+        assert interrupt.outcome.executed == 2
+        assert "resume=True" in interrupt.resume_hint
+        store.refresh()
+        assert len(store) == 2  # flushed before the interrupt surfaced
+        monkeypatch.setattr(sweep_module, "_record_for_cell", real_worker)
+        outcome = execute_sweep(small_sweep(), processes=1, store=store)
+        assert outcome.cached == 2 and outcome.executed == 2
+
+    def test_storeless_interrupt_hints_at_store(self, monkeypatch):
+        import repro.experiments.sweep as sweep_module
+
+        def explode(indexed_cell):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(sweep_module, "_row_for_cell", explode)
+        with pytest.raises(CampaignInterrupted) as info:
+            execute_sweep(small_sweep(), processes=1)
+        assert "re-run with a store" in info.value.resume_hint
+
+    def test_sweep_resume_warns_on_foreign_env(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        execute_sweep(small_sweep(), processes=1, store=store)
+        _doctor_env(tmp_path / "store")
+        fresh = RunStore(tmp_path / "store")
+        with pytest.warns(ProvenanceWarning, match="pass resume=False"):
+            outcome = execute_sweep(small_sweep(), processes=1, store=fresh)
+        assert outcome.cached == 4 and outcome.executed == 0

@@ -1,0 +1,312 @@
+"""Property tests for the campaign lease protocol (pure, fake-clock).
+
+The lease layer is the part of the campaign machinery that must be
+*right* rather than merely plausible: every fault-tolerance guarantee
+reduces to "at most one live lease per unit" and "no unit is ever
+lost".  Both classes are clock-injected and I/O-free precisely so
+hypothesis can drive them through adversarial schedules here.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.lease import (
+    CACHED,
+    COMPLETED,
+    LEASED,
+    PENDING,
+    QUARANTINED,
+    LeaseTable,
+    UnitTracker,
+    backoff_delay,
+)
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# backoff_delay
+
+
+class TestBackoffDelay:
+    @given(st.text(min_size=1, max_size=40), st.integers(1, 40))
+    def test_deterministic(self, key, attempt):
+        assert backoff_delay(key, attempt) == backoff_delay(key, attempt)
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_first_attempt_free(self, key):
+        assert backoff_delay(key, 0) == 0.0
+        assert backoff_delay(key, 1) == 0.0
+
+    @given(st.text(min_size=1, max_size=40), st.integers(2, 60))
+    def test_bounded_by_cap_plus_jitter(self, key, attempt):
+        delay = backoff_delay(key, attempt, base=0.5, cap=30.0)
+        assert 0.0 < delay < 30.0 + 0.5
+
+    @given(st.text(min_size=1, max_size=40), st.integers(2, 20))
+    def test_exponential_part_monotone(self, key, attempt):
+        # The deterministic (pre-jitter) part never shrinks as attempts
+        # mount; jitter adds strictly less than one base on top.
+        base, cap = 0.5, 30.0
+        floor = min(cap, base * 2.0 ** (attempt - 2))
+        delay = backoff_delay(key, attempt, base=base, cap=cap)
+        assert floor <= delay < floor + base
+        next_floor = min(cap, base * 2.0 ** (attempt - 1))
+        assert next_floor >= floor
+
+    def test_distinct_units_get_distinct_jitter(self):
+        delays = {backoff_delay(f"unit-{i}", 3) for i in range(32)}
+        assert len(delays) > 16  # not all colliding on one offset
+
+
+# ---------------------------------------------------------------------------
+# LeaseTable
+
+
+class TestLeaseTable:
+    def table(self, clock, ttl=10.0, unit_timeout=60.0) -> LeaseTable:
+        return LeaseTable(ttl=ttl, unit_timeout=unit_timeout, clock=clock)
+
+    def test_double_issue_refused_while_live(self):
+        clock = FakeClock()
+        table = self.table(clock)
+        table.issue("u", worker=0, attempt=1)
+        with pytest.raises(ConfigurationError):
+            table.issue("u", worker=1, attempt=1)
+
+    def test_issue_allowed_after_expiry(self):
+        clock = FakeClock()
+        table = self.table(clock, ttl=5.0)
+        table.issue("u", worker=0, attempt=1)
+        clock.advance(5.0)
+        lease = table.issue("u", worker=1, attempt=2)
+        assert lease.worker == 1
+
+    def test_renew_pushes_silence_deadline_only(self):
+        clock = FakeClock()
+        table = self.table(clock, ttl=5.0, unit_timeout=60.0)
+        lease = table.issue("u", worker=0, attempt=1)
+        clock.advance(4.0)
+        assert table.renew("u", worker=0)
+        assert lease.deadline == pytest.approx(9.0)
+        assert lease.unit_deadline == pytest.approx(60.0)
+
+    def test_renew_never_extends_past_unit_deadline(self):
+        clock = FakeClock()
+        table = self.table(clock, ttl=10.0, unit_timeout=12.0)
+        lease = table.issue("u", worker=0, attempt=1)
+        clock.advance(9.0)
+        assert table.renew("u", worker=0)
+        assert lease.deadline == pytest.approx(12.0)  # clamped
+        clock.advance(3.0)
+        assert lease.expired(clock.now)
+        assert lease.expiry_cause(clock.now) == "unit-timeout"
+        assert not table.renew("u", worker=0)  # cannot resurrect
+
+    def test_stale_renew_and_release_rejected(self):
+        clock = FakeClock()
+        table = self.table(clock, ttl=5.0)
+        table.issue("u", worker=0, attempt=1)
+        assert not table.renew("u", worker=1)  # wrong holder
+        assert not table.release("u", worker=1)
+        clock.advance(5.0)
+        assert not table.renew("u", worker=0)  # expired
+        assert not table.release("u", worker=0)
+        assert "u" in table  # only revoke/re-issue may clear it
+
+    def test_release_by_live_holder(self):
+        clock = FakeClock()
+        table = self.table(clock)
+        table.issue("u", worker=0, attempt=1)
+        assert table.release("u", worker=0)
+        assert "u" not in table
+
+    def test_zombie_cannot_steal_reissued_unit(self):
+        # Worker 0 crashes (lease expires), the unit re-issues to
+        # worker 1; a late message from worker 0 must bounce off.
+        clock = FakeClock()
+        table = self.table(clock, ttl=5.0)
+        table.issue("u", worker=0, attempt=1)
+        clock.advance(5.0)
+        table.revoke("u")
+        table.issue("u", worker=1, attempt=2)
+        assert not table.renew("u", worker=0)
+        assert not table.release("u", worker=0)
+        assert table.holder("u").worker == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["advance", "renew", "release", "expire-check"]),
+                st.integers(0, 2),
+            ),
+            max_size=40,
+        )
+    )
+    def test_at_most_one_live_lease_under_arbitrary_schedules(self, events):
+        """No interleaving of renew/release/time can double-lease a unit."""
+        clock = FakeClock()
+        table = self.table(clock, ttl=4.0, unit_timeout=20.0)
+        holder = None  # our model of who legitimately owns "u"
+        attempt = 0
+        for action, worker in events:
+            if action == "advance":
+                clock.advance(2.5)
+            elif action == "renew":
+                renewed = table.renew("u", worker)
+                if renewed:
+                    assert worker == holder  # only the holder can renew
+            elif action == "release":
+                released = table.release("u", worker)
+                if released:
+                    assert worker == holder
+                    holder = None
+            elif action == "expire-check":
+                for lease in table.expired():
+                    table.revoke(lease.unit_key)
+                    holder = None
+            if holder is None and "u" not in table:
+                attempt += 1
+                table.issue("u", worker, attempt)
+                holder = worker
+            # The core invariant: the table never holds two leases for
+            # one unit, and issuing over a live lease always raises.
+            live = table.holder("u")
+            if live is not None and not live.expired(clock.now):
+                with pytest.raises(ConfigurationError):
+                    table.issue("u", 99, attempt + 1)
+
+
+# ---------------------------------------------------------------------------
+# UnitTracker: no unit double-executed, no unit lost
+
+
+@st.composite
+def tracker_schedules(draw):
+    """An arbitrary campaign history: per-step fate of the issued unit."""
+    units = draw(st.integers(1, 6))
+    fates = draw(
+        st.lists(
+            st.sampled_from(["complete", "kill", "stall", "silence"]),
+            min_size=units,
+            max_size=units * 8,
+        )
+    )
+    max_retries = draw(st.integers(0, 4))
+    cached = draw(st.sets(st.integers(0, units - 1), max_size=units))
+    return units, fates, max_retries, cached
+
+
+class TestUnitTrackerInvariants:
+    @given(tracker_schedules())
+    @settings(max_examples=200)
+    def test_no_unit_lost_and_budget_respected(self, schedule):
+        """Under arbitrary kill/stall/complete schedules every unit ends
+        terminal, nothing executes beyond its retry budget, and no unit
+        is ever issued while already leased."""
+        units, fates, max_retries, cached = schedule
+        keys = [f"unit-{i}" for i in range(units)]
+        clock = FakeClock()
+        tracker = UnitTracker(
+            keys, max_retries=max_retries, backoff_base=1.0, clock=clock
+        )
+        for index in cached:
+            tracker.on_cached(keys[index])
+
+        causes = {"kill": "worker-death", "stall": "unit-timeout",
+                  "silence": "heartbeat-silence"}
+        for fate in fates:
+            if tracker.done:
+                break
+            key = tracker.next_issuable()
+            if key is None:  # all pending units behind backoff gates
+                gate = tracker.next_available_at()
+                if gate is None:
+                    break
+                clock.advance(gate - clock.now + 0.01)
+                key = tracker.next_issuable()
+                assert key is not None
+            assert tracker.state(key) == PENDING
+            tracker.on_issue(key)
+            assert tracker.state(key) == LEASED
+            # A leased unit can never be issued again before expiring.
+            assert tracker.next_issuable() != key
+            if fate == "complete":
+                tracker.on_complete(key)
+                assert tracker.state(key) == COMPLETED
+            else:
+                state = tracker.on_expire(key, causes[fate])
+                assert state in (PENDING, QUARANTINED)
+                assert tracker.attempts(key) <= max_retries + 1
+                if tracker.attempts(key) == max_retries + 1:
+                    assert state == QUARANTINED
+
+        # Drain: keep expiring everything until the campaign terminates
+        # (models a coordinator that never gives up short of quarantine).
+        while not tracker.done:
+            key = tracker.next_issuable()
+            if key is None:
+                gate = tracker.next_available_at()
+                assert gate is not None, "non-terminal unit with no path forward"
+                clock.advance(gate - clock.now + 0.01)
+                continue
+            tracker.on_issue(key)
+            tracker.on_expire(key, "worker-death")
+
+        counts = tracker.counts()
+        assert (
+            counts[COMPLETED] + counts[QUARANTINED] + counts[CACHED] == units
+        ), "a unit was lost"
+        assert counts[PENDING] == 0 and counts[LEASED] == 0
+        for key in keys:
+            # Attempts never exceed the budget: first try + max_retries.
+            assert tracker.attempts(key) <= max_retries + 1
+            report = tracker.report(key)
+            assert report["state"] in (COMPLETED, QUARANTINED, CACHED)
+
+    @given(st.integers(0, 3))
+    def test_quarantine_exactly_after_budget(self, max_retries):
+        clock = FakeClock()
+        tracker = UnitTracker(
+            ["u"], max_retries=max_retries, backoff_base=0.5, clock=clock
+        )
+        for attempt in range(1, max_retries + 2):
+            clock.advance(1000.0)  # clear any backoff gate
+            assert tracker.next_issuable() == "u"
+            assert tracker.on_issue("u") == attempt
+            state = tracker.on_expire("u", "worker-death")
+            expected = QUARANTINED if attempt == max_retries + 1 else PENDING
+            assert state == expected
+        assert tracker.counts()["reissues"] == max_retries
+
+    def test_invalid_transitions_raise(self):
+        tracker = UnitTracker(["u"], max_retries=1, clock=FakeClock())
+        with pytest.raises(ConfigurationError):
+            tracker.on_complete("u")  # not leased
+        with pytest.raises(ConfigurationError):
+            tracker.on_expire("u", "worker-death")
+        tracker.on_issue("u")
+        with pytest.raises(ConfigurationError):
+            tracker.on_issue("u")  # already leased
+        with pytest.raises(ConfigurationError):
+            tracker.on_cached("u")
+        tracker.on_complete("u")
+        with pytest.raises(ConfigurationError):
+            tracker.on_complete("u")
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnitTracker(["u", "u"], max_retries=1)
