@@ -474,7 +474,11 @@ def run_campaign(
                     {
                         "unit": by_key[unit_key].to_dict(),
                         "attempt": attempt,
-                        "options": {"keep_going": True, "shrink": True},
+                        "options": {
+                            "keep_going": True,
+                            "shrink": True,
+                            "backend": spec.backend,
+                        },
                     }
                 )
                 ledger.append(

@@ -88,8 +88,14 @@ class CampaignSpec:
     backoff_base: float = 0.5
     backoff_cap: float = 30.0
     shards: int = 4  # fuzz only; fixed so work identity ignores workers
+    backend: str = "object"  # cell execution engine: "object" | "batch"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("object", "batch"):
+            raise ConfigurationError(
+                f"campaign backend must be 'object' or 'batch', "
+                f"got {self.backend!r}"
+            )
         if self.kind not in ("sweep", "fuzz"):
             raise ConfigurationError(
                 f"campaign kind must be 'sweep' or 'fuzz', got {self.kind!r}"
@@ -167,19 +173,25 @@ class CampaignSpec:
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
+        fleet: Dict[str, object] = {
+            "workers": self.workers,
+            "lease_ttl": self.lease_ttl,
+            "unit_timeout": self.unit_timeout,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "shards": self.shards,
+        }
+        # The backend is a fleet knob, not part of the work (both engines
+        # archive byte-identical records).  Emitted only when non-default
+        # so pre-existing campaign content hashes stay stable.
+        if self.backend != "object":
+            fleet["backend"] = self.backend
         return {
             "kind": self.kind,
             "sweep": self.sweep.to_dict() if self.sweep else None,
             "fuzz": self.fuzz.to_dict() if self.fuzz else None,
-            "fleet": {
-                "workers": self.workers,
-                "lease_ttl": self.lease_ttl,
-                "unit_timeout": self.unit_timeout,
-                "max_retries": self.max_retries,
-                "backoff_base": self.backoff_base,
-                "backoff_cap": self.backoff_cap,
-                "shards": self.shards,
-            },
+            "fleet": fleet,
         }
 
     @classmethod
@@ -209,6 +221,7 @@ class CampaignSpec:
             backoff_base=float(fleet.get("backoff_base", 0.5)),
             backoff_cap=float(fleet.get("backoff_cap", 30.0)),
             shards=int(fleet.get("shards", 4)),
+            backend=str(fleet.get("backend", "object")),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

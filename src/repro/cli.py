@@ -333,6 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--store either way."
         ),
     )
+    psweep_parser.add_argument(
+        "--backend", choices=("object", "batch"), default="object",
+        help=(
+            "execution backend: 'batch' runs each cell's trials as one "
+            "vectorized numpy batch (byte-identical rows, much faster); "
+            "cells the batch backend cannot cover fall back to 'object'"
+        ),
+    )
+    psweep_parser.add_argument(
+        "--validate-backend", action="store_true",
+        help=(
+            "with --backend batch: re-run a deterministic sample of every "
+            "batch on the object engine and fail loudly on any divergence"
+        ),
+    )
 
     symmetry_parser = commands.add_parser(
         "symmetry", help="Result 4 adaptivity sweep over symmetry degrees"
@@ -607,6 +622,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fuzz campaign: independent shards the budget is split into",
     )
     campaign_parser.add_argument(
+        "--backend", choices=("object", "batch"), default="object",
+        help=(
+            "sweep campaign: cell execution engine (batch = columnar numpy "
+            "engine, byte-identical records; uncovered cells fall back)"
+        ),
+    )
+    campaign_parser.add_argument(
         "--chaos", default=None, metavar="SPEC",
         help=(
             "fault-injection plan for testing the campaign machinery, e.g. "
@@ -745,6 +767,11 @@ def _command_psweep(args: argparse.Namespace) -> int:
     )
 
     _require_positive_workers(args.jobs, "--jobs")
+    if args.validate_backend and args.backend != "batch":
+        raise ReproError(
+            "--validate-backend cross-checks the batch backend against the "
+            "object engine and therefore requires --backend batch"
+        )
     if args.resume is not None and not args.store:
         raise ReproError(
             "--resume/--no-resume controls how archived cells are reused "
@@ -767,7 +794,12 @@ def _command_psweep(args: argparse.Namespace) -> int:
         store = RunStore(args.store)
     try:
         outcome = execute_sweep(
-            spec, processes=args.jobs, store=store, resume=resume
+            spec,
+            processes=args.jobs,
+            store=store,
+            resume=resume,
+            backend=args.backend,
+            validate_backend=args.validate_backend,
         )
     except CampaignInterrupted as interrupt:
         # Graceful degradation: everything completed before the ^C is
@@ -1122,6 +1154,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
             unit_timeout=args.unit_timeout,
             max_retries=args.max_retries,
             backoff_base=args.backoff_base,
+            backend=args.backend,
         )
     chaos = parse_chaos_spec(args.chaos) if args.chaos else None
     print(f"campaign {spec.content_hash()[:16]}: {spec.describe()}")

@@ -41,6 +41,17 @@ class SimulationLimitExceeded(SimulationError):
     """
 
 
+class BackendMismatch(SimulationError):
+    """The batch backend diverged from the object-engine oracle.
+
+    Raised by the differential gate (``validate=True`` sampling in
+    :func:`repro.sim.batch.runner.run_batch`, or the cross-backend test
+    suite) when a sampled trial's activation log, metrics or final
+    positions differ between the columnar and object engines.  Any
+    occurrence is a bug in one of the engines, never expected noise.
+    """
+
+
 class VerificationError(ReproError):
     """A terminal configuration failed the uniform-deployment predicate."""
 

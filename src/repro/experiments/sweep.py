@@ -366,6 +366,8 @@ def execute_sweep(
     store: Optional[RunStore] = None,
     resume: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
+    backend: str = "object",
+    validate_backend: bool = False,
 ) -> SweepOutcome:
     """Run ``spec`` through an optional run store; return rows + stats.
 
@@ -382,10 +384,25 @@ def execute_sweep(
       were cached, which were computed, and in what order workers
       finished — byte-identical to a storeless serial run.
 
+    ``backend="batch"`` executes the pending cells on the columnar
+    engine (:mod:`repro.sim.batch`): cells are grouped per (algorithm,
+    n, k, scheduler, budget) and each group runs as one vectorized
+    batch in the parent process.  Results — rows, archived records,
+    content hashes — are byte-identical to the object path by
+    construction; cells the batch backend does not cover silently fall
+    back to the object pool.  ``validate_backend=True`` additionally
+    re-runs a deterministic sample of every batch on the object engine
+    and raises :class:`~repro.errors.BackendMismatch` on any
+    divergence (the differential-oracle gate).
+
     ``progress(done, pending_total)`` is called after each *executed*
     cell is safely archived (or completed, when storeless); a callback
     that raises aborts the sweep without losing archived cells.
     """
+    if backend not in ("object", "batch"):
+        raise ConfigurationError(
+            f"unknown sweep backend {backend!r} (choose 'object' or 'batch')"
+        )
     cells = expand_cells(spec)
     if not cells:
         return SweepOutcome(rows=[], total=0, executed=0, cached=0)
@@ -438,6 +455,32 @@ def execute_sweep(
     # archiving sweeps pay for the record envelope crossing the pool.
     worker = _row_for_cell if store is None else _record_for_cell
 
+    # Batch backend: peel the batchable cells off the pool's work list
+    # and group them into homogeneous vectorizable batches.  Grouping by
+    # scheduler spec keeps all-sync groups on the engine's fused round
+    # path; unbatchable cells stay on `pool_pending` and run exactly as
+    # before, so a partially covered sweep still completes.
+    pool_pending = pending
+    batch_groups: List[List[Tuple[int, SweepCell]]] = []
+    if backend == "batch" and pending:
+        from repro.sim.batch import batch_supported, run_batch
+
+        grouped: Dict[Tuple[object, ...], List[Tuple[int, SweepCell]]] = {}
+        pool_pending = []
+        for index, cell in pending:
+            if batch_supported(cell.to_experiment_spec()) is None:
+                key = (
+                    cell.algorithm,
+                    cell.ring_size,
+                    cell.agent_count,
+                    cell.scheduler,
+                    cell.max_steps,
+                )
+                grouped.setdefault(key, []).append((index, cell))
+            else:
+                pool_pending.append((index, cell))
+        batch_groups = list(grouped.values())
+
     def _complete(index: int, payload: Dict[str, object], done: int) -> None:
         if store is None:
             rows[index] = payload
@@ -454,22 +497,36 @@ def execute_sweep(
 
     executed = 0
     try:
-        if pending:
+        for group in batch_groups:
+            specs = [cell.to_experiment_spec() for _, cell in group]
+            results = run_batch(specs, validate=validate_backend)
+            for (index, cell), cell_spec, result in zip(group, specs, results):
+                if store is None:
+                    payload = cell_row(cell, result)
+                else:
+                    payload = result.to_record(cell_spec).to_dict()
+                executed += 1
+                _complete(index, payload, executed)
+        if pool_pending:
             if processes is None:
                 processes = multiprocessing.cpu_count()
-            processes = max(1, min(processes, len(pending)))
+            processes = max(1, min(processes, len(pool_pending)))
             if processes == 1:
-                for done, (index, cell) in enumerate(pending, start=1):
+                for done, (index, cell) in enumerate(
+                    pool_pending, start=executed + 1
+                ):
                     _, payload = worker((index, cell))
                     _complete(index, payload, done)
                     executed = done
             else:
-                chunksize = max(1, len(pending) // (processes * 4))
+                chunksize = max(1, len(pool_pending) // (processes * 4))
                 with multiprocessing.Pool(processes) as pool:
                     completed = pool.imap_unordered(
-                        worker, pending, chunksize=chunksize
+                        worker, pool_pending, chunksize=chunksize
                     )
-                    for done, (index, payload) in enumerate(completed, start=1):
+                    for done, (index, payload) in enumerate(
+                        completed, start=executed + 1
+                    ):
                         _complete(index, payload, done)
                         executed = done
     except KeyboardInterrupt:
@@ -513,6 +570,8 @@ def run_sweep(
     store: Optional[RunStore] = None,
     resume: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
+    backend: str = "object",
+    validate_backend: bool = False,
 ) -> List[Dict[str, object]]:
     """Run every cell of ``spec``; return rows in canonical cell order.
 
@@ -520,11 +579,18 @@ def run_sweep(
     number of cells.  With one process (or one cell) the pool is skipped
     entirely.  Completed cells stream back as workers finish, but the
     returned rows are identical regardless of parallelism.  ``store``/
-    ``resume``/``progress`` are forwarded to :func:`execute_sweep`
-    (which also reports cache-hit accounting).
+    ``resume``/``progress``/``backend``/``validate_backend`` are
+    forwarded to :func:`execute_sweep` (which also reports cache-hit
+    accounting).
     """
     return execute_sweep(
-        spec, processes, store=store, resume=resume, progress=progress
+        spec,
+        processes,
+        store=store,
+        resume=resume,
+        progress=progress,
+        backend=backend,
+        validate_backend=validate_backend,
     ).rows
 
 

@@ -1,0 +1,321 @@
+"""Batch kernel for Algorithms 2+3 (``known_k_logspace``).
+
+Linearisation of :class:`repro.core.known_k_logspace.KnownKLogSpaceAgent`:
+
+====  ========  ====================================================
+code  phase     generator position
+====  ========  ====================================================
+0     INIT      before the first ``move(release_token)`` yield
+1     CIRCUIT   inside the sub-phase circuit loop
+2     LEADER    Algorithm 3 leader walk (notify followers, halt)
+3     WAIT      follower suspended at home for a ``LeaderNotice``
+4     TOBASE    follower walking to the nearest base node
+5     HOP       follower hopping target-to-target, vacancy checks
+6     DONE      halted
+====  ========  ====================================================
+
+The ``fresh`` column captures a generator quirk the audit can see:
+sub-phase-entry resets (``phase += 1``, flags, segment counters) run
+*after* the departure yield, on the next resume — so an agent audited
+while departing for sub-phase ``p+1`` still shows sub-phase ``p``'s
+counters.  Segment measurement is fully columnar (including the
+lexicographic ID comparison of ``_close_segment``); the at-home
+leader/follower decision and the target-hop arithmetic drop to scalar
+per-trial code sharing :func:`repro.core.targets.hop_to_next_target`
+with the object agent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.messages import LeaderNotice
+from repro.core.targets import hop_to_next_target
+from repro.sim.batch.kernels import Kernel, bit_cost, register_kernel
+
+__all__ = ["KnownKLogSpaceKernel"]
+
+_INIT, _CIRCUIT, _LEADER, _WAIT, _TOBASE, _HOP, _DONE = range(7)
+
+
+@register_kernel("known_k_logspace")
+class KnownKLogSpaceKernel(Kernel):
+    halts = True
+
+    def __init__(self, trials: int, agent_count: int, ring_size: int) -> None:
+        super().__init__(trials, agent_count, ring_size)
+        flats = trials * agent_count
+        z = lambda: np.zeros(flats, dtype=np.int64)  # noqa: E731
+        self.kphase = np.full(flats, _INIT, dtype=np.int64)
+        self.fresh = np.zeros(flats, dtype=bool)
+        self.phase = z()  # the agent's audited sub-phase counter
+        self.identical = np.zeros(flats, dtype=bool)
+        self.min_id = np.zeros(flats, dtype=bool)
+        self.id_d, self.id_f = z(), z()
+        self.next_d, self.next_f = z(), z()
+        self.seg_d, self.seg_f = z(), z()
+        self.seg_index = z()
+        self.tokens_seen = z()
+        self.n_learned = z()
+        self.is_leader = np.zeros(flats, dtype=bool)
+        self.t = z()  # leader: token nodes visited
+        self.t_base = z()
+        self.b = z()
+        self.target_index = z()
+        self.hops = z()
+
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        t_idx: np.ndarray,
+        a_idx: np.ndarray,
+        vtokens: np.ndarray,
+        vagents: np.ndarray,
+        msgs: Dict[int, Tuple[object, ...]],
+    ):
+        m = t_idx.size
+        flat = t_idx * self.k + a_idx
+        ph = self.kphase[flat]
+        move = np.zeros(m, dtype=bool)
+        release = np.zeros(m, dtype=bool)
+        halt = np.zeros(m, dtype=bool)
+        suspend = np.zeros(m, dtype=bool)
+        broadcasts: List[Tuple[int, object]] = []
+
+        init = ph == _INIT
+        if init.any():
+            # phase = 0, n = 0 pre-set by column init.
+            self.kphase[flat[init]] = _CIRCUIT
+            self.fresh[flat[init]] = True
+            move[init] = True
+            release[init] = True
+
+        circ = ph == _CIRCUIT
+        if circ.any():
+            cf = flat[circ]
+            entering = self.fresh[cf]
+            if entering.any():
+                ef = cf[entering]
+                self.phase[ef] += 1
+                self.identical[ef] = True
+                self.min_id[ef] = True
+                self.seg_index[ef] = 0
+                self.seg_d[ef] = 0
+                self.seg_f[ef] = 0
+                self.tokens_seen[ef] = 0
+                self.fresh[ef] = False
+            self.seg_d[cf] += 1
+            first_sub = self.phase[cf] == 1
+            if first_sub.any():
+                self.n_learned[cf[first_sub]] += 1  # learn n in sub-phase 1
+            move[circ] = True
+
+            saw_token = circ & (vtokens > 0)
+            if saw_token.any():
+                tf = flat[saw_token]
+                self.tokens_seen[tf] += 1
+                at_home = self.tokens_seen[tf] == self.k
+                follower_home = (vagents[saw_token] > 0) & ~at_home
+                if follower_home.any():
+                    self.seg_f[tf[follower_home]] += 1
+                closing = ~follower_home
+                if closing.any():
+                    self._close_segments(tf[closing])
+                home_entries = np.flatnonzero(saw_token)[at_home]
+                for i in home_entries.tolist():
+                    self._decide(int(flat[i]), i, move, suspend)
+
+        leader = ph == _LEADER
+        if leader.any():
+            saw_token = leader & (vtokens > 0)
+            if saw_token.any():
+                self.t[flat[saw_token]] += 1
+            lf = flat[leader]
+            arrived_base = self.t[lf] == self.id_f[lf] + 1
+            done = np.flatnonzero(leader)[arrived_base]
+            halt[done] = True
+            self.kphase[flat[done]] = _DONE
+            walking = np.flatnonzero(leader)[~arrived_base]
+            move[walking] = True
+            notify = saw_token.copy()
+            notify[walking] = notify[walking] & (
+                self.t[flat[walking]] <= self.id_f[flat[walking]]
+            )
+            notify &= ~halt
+            for i in np.flatnonzero(notify).tolist():
+                f = int(flat[i])
+                broadcasts.append(
+                    (
+                        i,
+                        LeaderNotice(
+                            t_base=int(self.id_f[f] - (self.t[f] - 1)),
+                            f_num=int(self.id_f[f]),
+                        ),
+                    )
+                )
+
+        waiting = ph == _WAIT
+        if waiting.any():
+            for i in np.flatnonzero(waiting).tolist():
+                f = int(flat[i])
+                notice = next(
+                    (
+                        msg
+                        for msg in msgs.get(i, ())
+                        if isinstance(msg, LeaderNotice)
+                    ),
+                    None,
+                )
+                if notice is None:
+                    suspend[i] = True
+                    continue
+                self.t_base[f] = notice.t_base
+                self.b[f] = self.k // (notice.f_num + 1)
+                self.tokens_seen[f] = 0
+                if self.tokens_seen[f] < self.t_base[f]:
+                    self.kphase[f] = _TOBASE
+                    move[i] = True
+                else:  # t_base == 0: straight to the hop loop
+                    self._enter_targets(f, i, 0, int(vagents[i]), move, halt)
+
+        tobase = ph == _TOBASE
+        if tobase.any():
+            saw_token = tobase & (vtokens > 0)
+            if saw_token.any():
+                self.tokens_seen[flat[saw_token]] += 1
+            bf = flat[tobase]
+            walking = self.tokens_seen[bf] < self.t_base[bf]
+            move[np.flatnonzero(tobase)[walking]] = True
+            for i in np.flatnonzero(tobase)[~walking].tolist():
+                self._enter_targets(
+                    int(flat[i]), i, 0, int(vagents[i]), move, halt
+                )
+
+        hopping = ph == _HOP
+        if hopping.any():
+            hf = flat[hopping]
+            mid_hop = self.hops[hf] > 0
+            if mid_hop.any():
+                self.hops[hf[mid_hop]] -= 1
+                move[np.flatnonzero(hopping)[mid_hop]] = True
+            for i in np.flatnonzero(hopping)[~mid_hop].tolist():
+                f = int(flat[i])
+                if vagents[i] == 0:  # vacant target: claim it
+                    halt[i] = True
+                    self.kphase[f] = _DONE
+                else:
+                    self._enter_targets(
+                        f, i, int(self.target_index[f]), int(vagents[i]), move, halt
+                    )
+
+        return move, release, halt, suspend, broadcasts
+
+    # ------------------------------------------------------------------
+
+    def _close_segments(self, tf: np.ndarray) -> None:
+        """Vectorized ``_close_segment`` over flat indices ``tf``."""
+        own_seg = self.seg_index[tf] == 0
+        if own_seg.any():
+            of = tf[own_seg]
+            self.id_d[of] = self.seg_d[of]
+            self.id_f[of] = self.seg_f[of]
+        later = ~own_seg
+        if later.any():
+            lf = tf[later]
+            succ = self.seg_index[lf] == 1
+            if succ.any():
+                sf = lf[succ]
+                self.next_d[sf] = self.seg_d[sf]
+                self.next_f[sf] = self.seg_f[sf]
+            differs = (self.seg_d[lf] != self.id_d[lf]) | (
+                self.seg_f[lf] != self.id_f[lf]
+            )
+            self.identical[lf[differs]] = False
+            # own > observed, tuple-lexicographic on (d, f).
+            own_greater = (self.id_d[lf] > self.seg_d[lf]) | (
+                (self.id_d[lf] == self.seg_d[lf])
+                & (self.id_f[lf] > self.seg_f[lf])
+            )
+            self.min_id[lf[own_greater]] = False
+        self.seg_index[tf] += 1
+        self.seg_d[tf] = 0
+        self.seg_f[tf] = 0
+
+    def _decide(
+        self, f: int, i: int, move: np.ndarray, suspend: np.ndarray
+    ) -> None:
+        """The at-home classification, same atomic action as the arrival."""
+        sole_active = self.seg_index[f] == 1  # no other active node met
+        if sole_active or self.identical[f]:
+            self.is_leader[f] = True
+            self.kphase[f] = _LEADER
+            self.t[f] = 0
+            # Leader entry: t == 0 < id_f + 1, so the first action is a
+            # plain move (no broadcast); `move[i]` is already True.
+        elif (not self.min_id[f]) or (
+            self.id_d[f] == self.next_d[f] and self.id_f[f] == self.next_f[f]
+        ):
+            self.is_leader[f] = False
+            self.kphase[f] = _WAIT
+            move[i] = False
+            suspend[i] = True
+        else:
+            # Stay active; loop-top resets run on the next resume.
+            self.fresh[f] = True
+
+    def _enter_targets(
+        self,
+        f: int,
+        i: int,
+        target_index: int,
+        agents_present: int,
+        move: np.ndarray,
+        halt: np.ndarray,
+    ) -> None:
+        """Algorithm 3's hop loop entry: emit the first hop or claim.
+
+        Mirrors the generator exactly: ``hops = step`` then the
+        ``while hops > 0`` walk decrements before yielding, so the
+        stored ``hops`` is ``step - 1`` at the departure yield.
+        """
+        ti = target_index
+        while True:
+            step, ti = hop_to_next_target(ti, int(self.n_learned[f]), self.k, int(self.b[f]))
+            self.target_index[f] = ti
+            self.hops[f] = step
+            if step > 0:
+                self.hops[f] = step - 1
+                self.kphase[f] = _HOP
+                move[i] = True
+                return
+            if agents_present == 0:
+                halt[i] = True
+                self.kphase[f] = _DONE
+                return
+
+    def memory_bits(self, t_idx: np.ndarray, a_idx: np.ndarray) -> np.ndarray:
+        flat = t_idx * self.k + a_idx
+        total = (
+            bit_cost(self.phase[flat])
+            + bit_cost(self.id_d[flat])
+            + bit_cost(self.id_f[flat])
+            + bit_cost(self.next_d[flat])
+            + bit_cost(self.next_f[flat])
+            + bit_cost(self.seg_d[flat])
+            + bit_cost(self.seg_f[flat])
+            + bit_cost(self.seg_index[flat])
+            + bit_cost(self.tokens_seen[flat])
+            + bit_cost(self.n_learned[flat])
+            + bit_cost(self.t[flat])
+            + bit_cost(self.t_base[flat])
+            + bit_cost(self.b[flat])
+            + bit_cost(self.target_index[flat])
+            + bit_cost(self.hops[flat])
+        )
+        # k (the known constant) plus the three 1-bit booleans
+        # (identical, min_id, is_leader — None and bool both cost 1).
+        total += int(bit_cost(np.array([self.k]))[0]) + 3
+        return total

@@ -1,0 +1,264 @@
+"""Batch kernel for Algorithms 4-6 (``unknown``).
+
+Linearisation of :class:`repro.core.unknown.UnknownKAgent`:
+
+====  ========  ====================================================
+code  phase     generator position
+====  ========  ====================================================
+0     INIT      before the first ``move(release_token)`` yield
+1     EST       Algorithm 4: walk until ``D`` is a 4-fold repetition
+2     PATROL    Algorithm 5: walk to ``12 n'`` moves, messaging
+3     DEPLOY    Algorithm 6: walk ``remaining`` hops to the target
+4     SUSP      suspended at the target, estimate-adoption on wake
+5     CATCHUP   post-adoption walk back up to ``12 n'`` moves
+====  ========  ====================================================
+
+Audit subtleties preserved from the generator: the deployment walk
+yields *before* decrementing (unlike Algorithm 1's, which decrements
+first), and the patrol/catch-up walks yield before incrementing
+``nodes`` — so the entry steps store the undecremented ``remaining``
+and the unincremented ``nodes``.  ``D`` is capped at ``4k`` entries:
+after four full circuits the observed sequence is four repetitions of
+the true token layout, so ``is_fourfold_repetition`` fires at
+``len(D) == 4k`` at the latest.
+
+This kernel never halts (``halts = False``): the relaxed problem ends
+in suspended states (paper Theorem 5), which is also what
+verification requires of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.sequences import (
+    is_fourfold_repetition,
+    prefix_alignment_shift,
+    rotation_rank,
+    shift,
+)
+from repro.core.messages import PatrolInfo
+from repro.core.targets import target_offset
+from repro.sim.batch.kernels import Kernel, bit_cost, register_kernel
+
+__all__ = ["UnknownKKernel"]
+
+_INIT, _EST, _PATROL, _DEPLOY, _SUSP, _CATCHUP = range(6)
+
+
+@register_kernel("unknown")
+class UnknownKKernel(Kernel):
+    halts = False
+
+    def __init__(self, trials: int, agent_count: int, ring_size: int) -> None:
+        super().__init__(trials, agent_count, ring_size)
+        flats = trials * agent_count
+        z = lambda: np.zeros(flats, dtype=np.int64)  # noqa: E731
+        self.kphase = np.full(flats, _INIT, dtype=np.int64)
+        self.dis = z()
+        self.n_est = z()
+        self.k_est = z()
+        self.nodes = z()
+        self.rank = z()
+        self.dis_base = z()
+        self.remaining = z()
+        self.D = np.zeros((flats, 4 * agent_count), dtype=np.int64)
+        self.D_len = z()
+        self.D_max = z()
+
+    # ------------------------------------------------------------------
+
+    def _patrol_info(self, f: int) -> PatrolInfo:
+        return PatrolInfo(
+            n_estimate=int(self.n_est[f]),
+            k_estimate=int(self.k_est[f]),
+            nodes_moved=int(self.nodes[f]),
+            distances=tuple(self.D[f, : self.D_len[f]].tolist()),
+        )
+
+    def _deploy_entry(
+        self,
+        f: int,
+        i: int,
+        pending: Optional[PatrolInfo],
+        move: np.ndarray,
+        suspend: np.ndarray,
+        broadcasts: List[Tuple[int, object]],
+    ) -> None:
+        """Algorithm 6 lines 1-5: compute the walk, emit its first action.
+
+        The generator yields before decrementing ``remaining``, so the
+        stored value here is the full walk length.
+        """
+        k_est = int(self.k_est[f])
+        block = self.D[f, :k_est].tolist()
+        self.rank[f] = rank = rotation_rank(block)
+        self.dis_base[f] = dis_base = sum(block[:rank])
+        remaining = dis_base + target_offset(
+            rank, int(self.n_est[f]), k_est, base_count=1
+        )
+        self.remaining[f] = remaining
+        if remaining > 0:
+            self.kphase[f] = _DEPLOY
+            move[i] = True
+        else:
+            self.kphase[f] = _SUSP
+            suspend[i] = True
+        if pending is not None:
+            broadcasts.append((i, pending))
+
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        t_idx: np.ndarray,
+        a_idx: np.ndarray,
+        vtokens: np.ndarray,
+        vagents: np.ndarray,
+        msgs: Dict[int, Tuple[object, ...]],
+    ):
+        m = t_idx.size
+        flat = t_idx * self.k + a_idx
+        ph = self.kphase[flat]
+        move = np.zeros(m, dtype=bool)
+        release = np.zeros(m, dtype=bool)
+        halt = np.zeros(m, dtype=bool)
+        suspend = np.zeros(m, dtype=bool)
+        broadcasts: List[Tuple[int, object]] = []
+
+        init = ph == _INIT
+        if init.any():
+            # D = [], dis = 0 pre-set by column init.
+            self.kphase[flat[init]] = _EST
+            move[init] = True
+            release[init] = True
+
+        est = ph == _EST
+        if est.any():
+            ef = flat[est]
+            self.dis[ef] += 1
+            move[est] = True
+            saw_token = est & (vtokens > 0)
+            if saw_token.any():
+                tf = flat[saw_token]
+                d_val = self.dis[tf]
+                self.D[tf, self.D_len[tf]] = d_val
+                self.D_len[tf] += 1
+                self.D_max[tf] = np.maximum(self.D_max[tf], d_val)
+                self.dis[tf] = 0
+                quads = self.D_len[tf] % 4 == 0
+                for i in np.flatnonzero(saw_token)[quads].tolist():
+                    f = int(flat[i])
+                    row = self.D[f, : self.D_len[f]].tolist()
+                    if not is_fourfold_repetition(row):
+                        continue
+                    self.k_est[f] = k_est = len(row) // 4
+                    self.n_est[f] = n_est = sum(row[:k_est])
+                    self.nodes[f] = 4 * n_est
+                    # Patrol entry: nodes = 4n' < 12n', so the first
+                    # patrol move is emitted now (pending is None).
+                    self.kphase[f] = _PATROL
+
+        patrol = ph == _PATROL
+        if patrol.any():
+            pf = flat[patrol]
+            self.nodes[pf] += 1
+            done = self.nodes[pf] >= 12 * self.n_est[pf]
+            positions = np.flatnonzero(patrol)
+            for pos, i in enumerate(positions.tolist()):
+                f = int(flat[i])
+                pending = self._patrol_info(f) if vagents[i] > 0 else None
+                if not done[pos]:
+                    move[i] = True
+                    if pending is not None:
+                        broadcasts.append((i, pending))
+                else:
+                    self._deploy_entry(f, i, pending, move, suspend, broadcasts)
+
+        deploy = ph == _DEPLOY
+        if deploy.any():
+            df = flat[deploy]
+            self.remaining[df] -= 1
+            self.nodes[df] += 1
+            walking = self.remaining[df] > 0
+            positions = np.flatnonzero(deploy)
+            move[positions[walking]] = True
+            arrived = positions[~walking]
+            suspend[arrived] = True
+            self.kphase[flat[arrived]] = _SUSP
+
+        susp = ph == _SUSP
+        if susp.any():
+            for i in np.flatnonzero(susp).tolist():
+                f = int(flat[i])
+                adopted = self._best_trigger(f, msgs.get(i, ()))
+                if adopted is None:
+                    suspend[i] = True
+                    continue
+                info, alignment = adopted
+                self._adopt(f, info, alignment)
+                if self.nodes[f] < 12 * self.n_est[f]:
+                    self.kphase[f] = _CATCHUP
+                    move[i] = True
+                else:
+                    self._deploy_entry(f, i, None, move, suspend, broadcasts)
+
+        catchup = ph == _CATCHUP
+        if catchup.any():
+            cf = flat[catchup]
+            self.nodes[cf] += 1
+            caught_up = self.nodes[cf] >= 12 * self.n_est[cf]
+            positions = np.flatnonzero(catchup)
+            move[positions[~caught_up]] = True
+            for i in positions[caught_up].tolist():
+                self._deploy_entry(int(flat[i]), i, None, move, suspend, broadcasts)
+
+        return move, release, halt, suspend, broadcasts
+
+    # ------------------------------------------------------------------
+
+    def _best_trigger(
+        self, f: int, messages: Tuple[object, ...]
+    ) -> Optional[Tuple[PatrolInfo, int]]:
+        """Scalar replica of ``UnknownKAgent._best_trigger``."""
+        own_d = self.D[f, : self.D_len[f]].tolist()
+        n_est = int(self.n_est[f])
+        nodes = int(self.nodes[f])
+        best: Optional[Tuple[PatrolInfo, int]] = None
+        for message in messages:
+            if not isinstance(message, PatrolInfo):
+                continue
+            if 2 * n_est > message.n_estimate:
+                continue
+            alignment = prefix_alignment_shift(
+                own_d, message.block, message.nodes_moved - nodes
+            )
+            if alignment is None:
+                continue
+            if best is None or message.n_estimate > best[0].n_estimate:
+                best = (message, alignment)
+        return best
+
+    def _adopt(self, f: int, info: PatrolInfo, alignment: int) -> None:
+        self.n_est[f] = info.n_estimate
+        self.k_est[f] = info.k_estimate
+        new_d = list(shift(info.block, alignment)) * 4
+        self.D[f, : len(new_d)] = new_d
+        self.D_len[f] = len(new_d)
+        self.D_max[f] = max(new_d) if new_d else 0
+
+    def memory_bits(self, t_idx: np.ndarray, a_idx: np.ndarray) -> np.ndarray:
+        flat = t_idx * self.k + a_idx
+        total = (
+            bit_cost(self.dis[flat])
+            + bit_cost(self.n_est[flat])
+            + bit_cost(self.k_est[flat])
+            + bit_cost(self.nodes[flat])
+            + bit_cost(self.rank[flat])
+            + bit_cost(self.dis_base[flat])
+            + bit_cost(self.remaining[flat])
+        )
+        total += np.maximum(1, self.D_len[flat]) * bit_cost(self.D_max[flat])
+        return total

@@ -1,0 +1,203 @@
+"""Kernel interface and registry for the columnar batch engine.
+
+A *kernel* is one algorithm's protocol generator rewritten as masked
+column updates: where the object engine resumes a Python generator per
+atomic action, a kernel advances an explicit per-(trial, agent) phase
+machine stored in ``(B, k)`` numpy columns.  The translation is exact —
+each kernel linearises its generator yield-by-yield, so the action
+emitted for any (phase, view) pair, and the declared-state values
+visible to the memory audit at the yield point, match the object agent
+bit for bit.  ``tests/test_batch_differential.py`` holds every kernel
+to that standard against the object engine on shared seeds.
+
+Common-case transitions (walking, counting distances) are fully
+vectorized; rare decisions (circuit completion, leader election,
+estimate adoption) drop to per-trial scalar code that reuses the very
+same helpers (:func:`repro.analysis.sequences.rotation_rank`,
+:func:`repro.core.targets.target_offset`, ...) the object agents call,
+so the arithmetic cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "register_kernel",
+    "load_kernels",
+    "batch_supported",
+    "bit_cost",
+    "minimal_rotation_index_batch",
+    "minimal_period_batch",
+]
+
+
+def bit_cost(values: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`repro.sim.agent.Agent.memory_bits` scalar cost.
+
+    For a non-negative counter ``v`` the audit charges
+    ``max(1, (v + 1).bit_length())`` bits.  ``frexp`` returns the
+    binary exponent ``e`` with ``x = m * 2**e, 0.5 <= m < 1``, which
+    for integer ``x >= 1`` is exactly ``x.bit_length()`` — exact up to
+    2**53, far beyond any counter a simulation can reach.  An unset
+    (``None``) scalar also costs one bit, the same as value 0, which is
+    why kernels may represent "unset" as 0 without breaking audit
+    parity.
+    """
+    return np.frexp(np.asarray(values, dtype=np.float64) + 1.0)[1].astype(np.int64)
+
+
+def minimal_rotation_index_batch(rows: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`repro.analysis.sequences.minimal_rotation_index`.
+
+    Elimination tournament over the ``k`` rotation starts of each row:
+    at offset ``o`` every still-alive start whose ``o``-th rotation
+    element is not the row minimum (among alive starts) is eliminated.
+    After ``k`` offsets the survivors are exactly the starts of the
+    lexicographically minimal rotation (several iff the row is
+    periodic); ``argmax`` picks the smallest surviving index, matching
+    Booth's smallest-index tie-break.  O(k^2) per row but fully
+    vectorized — the rows here are short (one entry per agent).
+    """
+    count, k = rows.shape
+    if k == 0:
+        return np.zeros(count, dtype=np.int64)
+    doubled = np.concatenate([rows, rows], axis=1)
+    sentinel = np.iinfo(rows.dtype).max
+    alive = np.ones((count, k), dtype=bool)
+    for offset in range(k):
+        vals = np.where(alive, doubled[:, offset : offset + k], sentinel)
+        alive &= vals == vals.min(axis=1, keepdims=True)
+        if offset and int(alive.sum()) == count:
+            break  # every row is down to one candidate already
+    return alive.argmax(axis=1).astype(np.int64)
+
+
+def minimal_period_batch(rows: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`repro.analysis.sequences.minimal_period`.
+
+    A rotation period of a length-``k`` sequence always divides ``k``,
+    so the minimal period is the smallest divisor ``d`` of ``k`` with
+    ``shift(D, d) == D`` — one rolled comparison per divisor.
+    """
+    count, k = rows.shape
+    period = np.full(count, k, dtype=np.int64)
+    for d in range(1, k):
+        if k % d != 0:
+            continue
+        matches = (rows == np.roll(rows, -d, axis=1)).all(axis=1)
+        period = np.where(matches & (period == k), d, period)
+        if int((period < k).sum()) == count:
+            break
+    return period
+
+
+class Kernel:
+    """One algorithm's transition function over columnar agent state.
+
+    Subclasses allocate their state columns in ``__init__`` and
+    implement :meth:`step` and :meth:`memory_bits`.  The engine
+    guarantees at most one dispatch entry per trial per call, so
+    fancy-indexed in-place updates on ``t * k + a`` flats never alias.
+    """
+
+    #: matches the registered algorithm's ``halts`` flag (verification).
+    halts = True
+    #: capability flags the engine uses to skip machinery a kernel can
+    #: never exercise.  ``messaging=False`` promises the kernel never
+    #: broadcasts (so inbox drain/wake logic is dead code for it),
+    #: ``suspends=False`` that it never suspends, and
+    #: ``needs_agents_view=False`` that :meth:`step` ignores ``vagents``
+    #: (the engine then passes ``None``).  The conservative defaults are
+    #: correct for any kernel; overriding them is purely a fast path.
+    messaging = True
+    suspends = True
+    needs_agents_view = True
+    #: ``fused_sync=True`` additionally certifies that under an
+    #: all-``sync`` schedule one whole round may be dispatched as a
+    #: single :meth:`step` call with *multiple entries per trial*
+    #: (one per enabled agent).  That is sound only when the kernel's
+    #: dynamics make round entries independent: every action moves or
+    #: halts (so queues stay single-occupancy and the end-of-round
+    #: enabled set is exactly the mover set), no broadcasts, no
+    #: suspends, and token releases only ever happen at the agent's own
+    #: distinct home (INIT), so no entry's node view depends on another
+    #: entry's action.  :meth:`step` must also be alias-free across
+    #: distinct (trial, agent) pairs, not just across trials.
+    fused_sync = False
+
+    def __init__(self, trials: int, agent_count: int, ring_size: int) -> None:
+        self.B = trials
+        self.k = agent_count
+        self.n = ring_size
+
+    def step(
+        self,
+        t_idx: np.ndarray,
+        a_idx: np.ndarray,
+        vtokens: np.ndarray,
+        vagents: np.ndarray,
+        msgs: Dict[int, Tuple[object, ...]],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, object]]]:
+        """Advance one atomic action for each (t_idx[i], a_idx[i]) pair.
+
+        ``vtokens``/``vagents`` are the view columns (tokens and staying
+        agents at the node, the actor excluded); ``msgs`` maps dispatch
+        positions to the drained inbox tuple, present only for entries
+        that had pending messages.  Returns ``(move, release, halt,
+        suspend, broadcasts)`` — four boolean arrays aligned with the
+        dispatch plus a list of ``(position, payload)`` broadcasts.
+        """
+        raise NotImplementedError
+
+    def memory_bits(self, t_idx: np.ndarray, a_idx: np.ndarray) -> np.ndarray:
+        """Audited state size in bits for each pair, post-action."""
+        raise NotImplementedError
+
+
+#: algorithm name -> kernel class; the batch backend's coverage.
+KERNELS: Dict[str, Callable[[int, int, int], Kernel]] = {}
+
+
+def register_kernel(name: str):
+    """Class decorator: register a kernel for a registered algorithm."""
+
+    def decorate(cls):
+        KERNELS[name] = cls
+        return cls
+
+    return decorate
+
+
+def load_kernels() -> None:
+    """Import the kernel modules for their registration side effect.
+
+    Late imports: the kernel modules subclass :class:`Kernel` from this
+    module, so a top-level import here would be circular.
+    """
+    import repro.sim.batch.kernel_full  # noqa: F401
+    import repro.sim.batch.kernel_logspace  # noqa: F401
+    import repro.sim.batch.kernel_unknown  # noqa: F401
+
+
+def batch_supported(spec) -> Optional[str]:
+    """Why ``spec`` cannot run on the batch backend, or ``None`` if it can.
+
+    The batch backend covers the four core algorithms under any
+    registered scheduler.  Specs needing per-agent view logs
+    (``record_views``) or the enabled-set self-check
+    (``validate_enabledness``) stay on the object engine — those knobs
+    are about the object engine's own internals.
+    """
+    load_kernels()
+    if spec.algorithm not in KERNELS:
+        return f"algorithm {spec.algorithm!r} has no batch kernel"
+    if spec.record_views:
+        return "record_views requires the object engine"
+    if spec.validate_enabledness:
+        return "validate_enabledness requires the object engine"
+    return None

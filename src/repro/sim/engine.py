@@ -242,7 +242,15 @@ class Engine:
         return self._metrics
 
     def run_rounds(self, rounds: int) -> Metrics:
-        """Run at most ``rounds`` scheduler batches (may stop earlier)."""
+        """Run at most ``rounds`` scheduler batches (may stop earlier).
+
+        Boundary contract: ``rounds <= 0`` runs nothing and returns the
+        current metrics unchanged, and an engine that is already
+        quiescent stays untouched (the scheduler is never consulted for
+        an empty enabled set, so no scheduler RNG draws happen on
+        boundary calls — :mod:`repro.sim.scheduler`'s consumption-order
+        contract relies on this).
+        """
         for _ in range(rounds):
             if not self._enabled:
                 break
@@ -253,15 +261,29 @@ class Engine:
         """Run batches until ``predicate(engine)`` holds or quiescence.
 
         Returns ``True`` when the predicate fired, ``False`` when the
-        run quiesced (or ``max_rounds`` elapsed) first.  Useful for
-        watching for intermediate conditions ("some agent suspended",
-        "half the agents halted") without writing the loop by hand.
+        run quiesced first.  Useful for watching for intermediate
+        conditions ("some agent suspended", "half the agents halted")
+        without writing the loop by hand.
+
+        Boundary contract:
+
+        * the predicate is evaluated *before* the first round — a
+          predicate that already holds returns ``True`` with zero
+          rounds run (and zero scheduler draws),
+        * each evaluation happens at a batch boundary, exactly once per
+          boundary: on quiescence the predicate was just found false at
+          the top of the loop, so the run returns ``False`` without
+          re-evaluating it (a side-effectful predicate is never
+          double-called at the same boundary),
+        * ``max_rounds`` elapsing performs one final boundary
+          evaluation and returns its verdict; ``max_rounds=0`` is
+          therefore a pure predicate probe that runs nothing.
         """
         for _ in range(max_rounds):
             if predicate(self):
                 return True
             if not self._enabled:
-                return predicate(self)
+                return False
             self._run_batch()
         return predicate(self)
 

@@ -28,6 +28,15 @@ name (``sync``, ``random``, ``laggard``, ``burst``, ``chaos``,
 ``"laggard:victims=0,patience=5,seed=3"`` drives the CLI, the sweep
 runner and the model checker identically.  This module is the only
 place scheduler classes are constructed outside the registry and tests.
+
+**RNG consumption order is a compatibility contract.**  Every seeded
+scheduler documents exactly when its ``random.Random`` instance is
+consulted (and with what call), because any change silently re-times
+every archived seeded run: content-addressed records, fuzzer corpora
+and replay logs all assume a given seed produces the same schedule
+forever.  ``tests/test_scheduler_contract.py`` pins each scheduler
+against an independent replica RNG; if you need different behaviour,
+register a new scheduler name instead of editing a draw.
 """
 
 from __future__ import annotations
@@ -102,7 +111,12 @@ class SynchronousScheduler(Scheduler):
     description="one uniformly random enabled agent per step",
 )
 class RandomScheduler(Scheduler):
-    """Activate one uniformly random enabled agent per step."""
+    """Activate one uniformly random enabled agent per step.
+
+    RNG contract: every :meth:`next_batch` call makes exactly one
+    ``rng.choice(enabled)`` draw — never more, never fewer — against
+    the *sorted* enabled sequence the engine passes in.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
@@ -153,6 +167,13 @@ class LaggardScheduler(Scheduler):
     starvation window.  Without this, a laggard that is rarely enabled
     could be starved for up to ``2 * patience`` steps per cycle while
     the progress accounting claimed ``patience``.
+
+    RNG contract: exactly one ``rng.choice(pool)`` draw per
+    :meth:`next_batch` call, where ``pool`` is the eager sublist (budget
+    available), the lagging sublist (laggard turn), or the eager
+    sublist again (owed-turn fallback) — each preserving the sorted
+    order of ``enabled``.  The branch taken never changes the number of
+    draws, so the RNG stream depends only on the call count and pools.
     """
 
     def __init__(
@@ -310,6 +331,12 @@ class ChaosScheduler(Scheduler):
     enabled agent, starving the highest-id enabled agent, and bursting
     one agent — a stress mix that has no bias any single adversary has.
     Fair because every strategy in the rotation is fair.
+
+    RNG contract: the mode is ``(step // epoch) % 4`` with ``step``
+    counted *before* the increment (call 0 is mode 0).  Mode 0 makes
+    exactly one ``rng.choice(enabled)`` draw; modes 1 and 2 consume no
+    randomness at all; mode 3 draws once **only** when the current
+    burst target is unset or no longer enabled, otherwise zero draws.
     """
 
     def __init__(self, epoch: int = 30, seed: int = 0) -> None:
@@ -354,6 +381,11 @@ class BurstScheduler(Scheduler):
 
     Models executions where one agent is much faster than the others —
     the schedule family behind the Algorithm 2/3 overtaking analysis.
+
+    RNG contract: continuing a burst (current agent still enabled,
+    steps remaining) consumes no randomness; starting or rotating a
+    burst — first call, budget exhausted, or the current agent gone
+    from ``enabled`` — makes exactly one ``rng.choice(enabled)`` draw.
     """
 
     def __init__(self, burst: int = 25, seed: int = 0) -> None:

@@ -1,0 +1,204 @@
+"""Differential-oracle gate: the batch backend vs the object engine.
+
+The columnar engine (:mod:`repro.sim.batch`) promises *byte identity*
+with the object engine, not statistical agreement.  These tests hold it
+to that across all four core algorithms and all five scheduler
+families, at three strictness levels:
+
+* **strict** — identical activation logs, identical full
+  :class:`Metrics` (every per-agent dict and counter), identical final
+  positions, per shared seeds,
+* **payload** — identical archived result payloads through the
+  :func:`repro.sim.batch.runner.run_batch` spec-level entry point
+  (the representation every store consumer sees), including the
+  ``k=1`` and ``n=k`` edge geometries,
+* **failure** — a trial that exceeds its step budget raises the same
+  exception type with the same message on both engines.
+
+``validate=True`` (the production sampling gate) is exercised both
+ways: passing on honest runs and raising :class:`BackendMismatch`
+when the oracle is forged to disagree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BackendMismatch, SimulationLimitExceeded
+from repro.experiments.runner import build_engine, run_experiment
+from repro.sim.batch import BatchEngine, run_batch
+from repro.sim.batch.runner import validation_sample
+from repro.spec import ExperimentSpec, PlacementSpec
+from repro.store.records import result_to_payload
+
+ALGORITHMS = ("known_k_full", "known_n_full", "known_k_logspace", "unknown")
+
+SCHEDULER_SPECS = (
+    "sync",
+    "random",
+    "burst:burst=3",
+    "chaos:epoch=5",
+    "laggard:victims=0,patience=4",
+)
+
+
+def _spec(
+    algorithm: str,
+    n: int,
+    k: int,
+    scheduler: str,
+    seed: int,
+    **overrides,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        algorithm=algorithm,
+        placement=PlacementSpec(
+            kind="random", ring_size=n, agent_count=k, seed=seed
+        ),
+        scheduler=scheduler,
+        scheduler_seed=seed ^ 0x5DEECE66D,
+        **overrides,
+    )
+
+
+def _batch_engine(specs, **kwargs) -> BatchEngine:
+    first = specs[0]
+    return BatchEngine(
+        algorithm=first.algorithm,
+        placements=[spec.build_placement() for spec in specs],
+        schedulers=[spec.build_scheduler() for spec in specs],
+        max_steps=[spec.max_steps for spec in specs],
+        memory_audit_interval=first.memory_audit_interval,
+        collect_metrics=first.collect_metrics,
+        **kwargs,
+    )
+
+
+def _metrics_tuple(metrics):
+    return (
+        dict(metrics.moves_per_agent),
+        dict(metrics.activations_per_agent),
+        dict(metrics.memory_bits_per_agent),
+        metrics.messages_sent,
+        metrics.messages_delivered,
+        metrics.tokens_released,
+        metrics.rounds,
+    )
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_SPECS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_strict_parity_log_metrics_positions(algorithm, scheduler):
+    specs = [
+        _spec(algorithm, 24, 6, scheduler, seed=100 + trial)
+        for trial in range(3)
+    ]
+    batch = _batch_engine(specs, record_log=True)
+    batch.run()
+    for trial, spec in enumerate(specs):
+        oracle = build_engine(spec)
+        oracle.run()
+        assert list(batch.activation_log_for(trial)) == list(
+            oracle.activation_log
+        ), f"{algorithm}/{scheduler} trial {trial}: activation logs differ"
+        assert _metrics_tuple(batch.metrics_for(trial)) == _metrics_tuple(
+            oracle.metrics
+        ), f"{algorithm}/{scheduler} trial {trial}: metrics differ"
+        assert (
+            batch.final_positions_for(trial) == oracle.final_positions()
+        ), f"{algorithm}/{scheduler} trial {trial}: final positions differ"
+
+
+@pytest.mark.parametrize("n,k", [(12, 1), (6, 6), (16, 4), (25, 5)])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_payload_parity_including_edge_geometries(algorithm, n, k):
+    specs = [
+        _spec(algorithm, n, k, scheduler, seed=7 + index)
+        for index, scheduler in enumerate(SCHEDULER_SPECS)
+        for _ in range(2)
+    ]
+    # One batch per scheduler family (a batch shares one cell).
+    for start in range(0, len(specs), 2):
+        cell = specs[start : start + 2]
+        results = run_batch(cell)
+        for spec, result in zip(cell, results):
+            assert result_to_payload(result) == result_to_payload(
+                run_experiment(spec)
+            )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_failure_parity_step_budget(algorithm):
+    specs = [_spec(algorithm, 12, 4, "random", seed=25, max_steps=10)]
+    with pytest.raises(SimulationLimitExceeded) as batch_error:
+        run_batch(specs)
+    with pytest.raises(SimulationLimitExceeded) as object_error:
+        run_experiment(specs[0])
+    assert str(batch_error.value) == str(object_error.value)
+
+
+def test_collect_metrics_off_parity():
+    specs = [
+        _spec("known_k_full", 20, 5, "random", seed=s, collect_metrics=False)
+        for s in (1, 2, 3)
+    ]
+    batch = _batch_engine(specs, record_log=True)
+    batch.run()
+    for trial, spec in enumerate(specs):
+        oracle = build_engine(spec)
+        oracle.run()
+        assert list(batch.activation_log_for(trial)) == list(
+            oracle.activation_log
+        )
+        assert batch.final_positions_for(trial) == oracle.final_positions()
+        assert _metrics_tuple(batch.metrics_for(trial)) == _metrics_tuple(
+            oracle.metrics
+        )  # both empty: disabled collection is disabled on both engines
+        assert batch.metrics_for(trial).total_activations == 0
+
+
+def test_memory_audit_interval_parity():
+    specs = [
+        _spec(
+            "known_k_logspace", 18, 6, "sync", seed=s, memory_audit_interval=5
+        )
+        for s in (4, 5)
+    ]
+    results = run_batch(specs)
+    for spec, result in zip(specs, results):
+        assert result_to_payload(result) == result_to_payload(
+            run_experiment(spec)
+        )
+
+
+def test_validate_gate_passes_on_honest_runs():
+    specs = [_spec("unknown", 16, 4, "chaos:epoch=5", seed=s) for s in range(4)]
+    run_batch(specs, validate=True)  # must not raise
+
+
+def test_validate_gate_raises_on_forged_oracle(monkeypatch):
+    import repro.experiments.runner as runner_module
+
+    specs = [_spec("known_k_full", 16, 4, "sync", seed=s) for s in range(3)]
+    honest = run_batch(specs)
+
+    def forged(spec):
+        import dataclasses
+
+        return dataclasses.replace(
+            honest[0], total_moves=honest[0].total_moves + 1
+        )
+
+    monkeypatch.setattr(runner_module, "run_experiment", forged)
+    with pytest.raises(BackendMismatch):
+        run_batch(specs, validate=True)
+
+
+def test_validation_sample_covers_boundaries():
+    assert validation_sample(0) == []
+    assert validation_sample(1) == [0]
+    assert validation_sample(2) == [0, 1]
+    sample = validation_sample(100, samples=3)
+    assert sample[0] == 0 and sample[-1] == 99 and len(sample) == 3
+    # Deterministic: same inputs, same indices, every call.
+    assert validation_sample(100, samples=3) == sample

@@ -1,0 +1,158 @@
+"""The backend knob end-to-end: sweeps, cache, campaign spec, CLI.
+
+The wiring contract: ``backend="batch"`` changes *how* cells are
+computed, never *what* comes out — rows, archived records, content
+hashes and :meth:`RunStore.digest` are all byte-identical to the
+object path.  The hypothesis property at the bottom is the strongest
+form: for arbitrary small sweep specs, the two backends produce stores
+with equal digests (record-for-record identical archives).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigurationError
+from repro.experiments.sweep import SweepSpec, execute_sweep
+from repro.store import RunStore
+from repro.store.cache import cached_run
+
+
+def _sweep(**overrides) -> SweepSpec:
+    defaults = dict(
+        algorithms=("known_k_full", "unknown"),
+        grid=((16, 4), (12, 3)),
+        schedulers=("sync", "random", "burst:burst=3"),
+        trials=2,
+        base_seed=5,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigurationError):
+        execute_sweep(_sweep(), processes=1, backend="vectorized")
+
+
+def test_storeless_rows_identical_across_backends():
+    spec = _sweep()
+    object_rows = execute_sweep(spec, processes=1).rows
+    batch_rows = execute_sweep(spec, processes=1, backend="batch").rows
+    assert object_rows == batch_rows
+
+
+def test_store_digests_identical_across_backends(tmp_path):
+    spec = _sweep()
+    object_store = RunStore(str(tmp_path / "object"))
+    batch_store = RunStore(str(tmp_path / "batch"))
+    object_outcome = execute_sweep(spec, processes=1, store=object_store)
+    batch_outcome = execute_sweep(
+        spec, processes=1, store=batch_store, backend="batch",
+        validate_backend=True,
+    )
+    assert object_outcome.rows == batch_outcome.rows
+    assert object_store.digest() == batch_store.digest()
+
+
+def test_batch_backend_resumes_from_object_store_and_back(tmp_path):
+    # Cross-backend resume: records archived by one backend are cache
+    # hits for the other, in both directions.
+    spec = _sweep(trials=1)
+    store = RunStore(str(tmp_path / "shared"))
+    first = execute_sweep(spec, processes=1, store=store)
+    assert first.executed == first.total
+    warm = execute_sweep(spec, processes=1, store=store, backend="batch")
+    assert warm.executed == 0 and warm.cached == warm.total
+    assert warm.rows == first.rows
+
+    wider = _sweep(trials=2)  # trial 0 cached, trial 1 fresh per cell
+    partial = execute_sweep(
+        wider, processes=1, store=store, backend="batch"
+    )
+    assert partial.cached == first.total
+    assert partial.executed == partial.total - first.total
+    rewarm = execute_sweep(wider, processes=1, store=store)
+    assert rewarm.executed == 0
+    assert rewarm.rows == partial.rows
+
+
+def test_batch_backend_progress_counts_every_cell():
+    seen = []
+    spec = _sweep(trials=1)
+    execute_sweep(
+        spec,
+        processes=1,
+        backend="batch",
+        progress=lambda done, total: seen.append((done, total)),
+    )
+    total = len(spec.algorithms) * len(spec.grid) * len(spec.schedulers)
+    assert seen == [(i, total) for i in range(1, total + 1)]
+
+
+def test_cached_run_backend_batch_same_hash(tmp_path):
+    from repro.experiments.sweep import expand_cells
+
+    spec = expand_cells(_sweep(trials=1))[0].to_experiment_spec()
+    object_store = RunStore(str(tmp_path / "object"))
+    batch_store = RunStore(str(tmp_path / "batch"))
+    object_result, object_hit = cached_run(spec, object_store)
+    batch_result, batch_hit = cached_run(spec, batch_store, backend="batch")
+    assert (object_hit, batch_hit) == (False, False)
+    assert object_store.digest() == batch_store.digest()
+    # Second call is a hit regardless of backend.
+    _, hit = cached_run(spec, batch_store, backend="object")
+    assert hit
+    with pytest.raises(ConfigurationError):
+        cached_run(spec, backend="columnar")
+
+
+def test_campaign_spec_backend_field_round_trip_and_hash_stability():
+    sweep = _sweep(trials=1)
+    default = CampaignSpec(kind="sweep", sweep=sweep)
+    explicit = CampaignSpec(kind="sweep", sweep=sweep, backend="object")
+    batch = CampaignSpec(kind="sweep", sweep=sweep, backend="batch")
+    # The default backend must not perturb pre-existing content hashes.
+    assert default.content_hash() == explicit.content_hash()
+    assert "backend" not in default.to_dict()["fleet"]
+    # The backend is a fleet knob: work identity ignores it entirely.
+    assert default.work_hash() == batch.work_hash()
+    assert batch.to_dict()["fleet"]["backend"] == "batch"
+    assert CampaignSpec.from_dict(batch.to_dict()).backend == "batch"
+    with pytest.raises(ConfigurationError):
+        CampaignSpec(kind="sweep", sweep=sweep, backend="columnar")
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    algorithm=st.sampled_from(
+        ["known_k_full", "known_n_full", "known_k_logspace", "unknown"]
+    ),
+    n=st.integers(min_value=4, max_value=24),
+    k=st.integers(min_value=1, max_value=6),
+    scheduler=st.sampled_from(
+        ["sync", "random", "chaos:epoch=5", "laggard:victims=0,patience=4"]
+    ),
+    trials=st.integers(min_value=1, max_value=3),
+    base_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_backend_digest_identity(
+    tmp_path_factory, algorithm, n, k, scheduler, trials, base_seed
+):
+    k = min(k, n)
+    spec = SweepSpec(
+        algorithms=(algorithm,),
+        grid=((n, k),),
+        schedulers=(scheduler,),
+        trials=trials,
+        base_seed=base_seed,
+    )
+    root = tmp_path_factory.mktemp("digest")
+    object_store = RunStore(str(root / "object"))
+    batch_store = RunStore(str(root / "batch"))
+    execute_sweep(spec, processes=1, store=object_store)
+    execute_sweep(spec, processes=1, store=batch_store, backend="batch")
+    assert object_store.digest() == batch_store.digest()

@@ -1,0 +1,123 @@
+"""Pin each seeded scheduler's RNG consumption order as a contract.
+
+Any change to *when* a scheduler consults its ``random.Random`` — an
+extra draw, a skipped draw, a different call — silently re-times every
+archived seeded run: content-addressed records, fuzz corpora and replay
+logs all assume a seed reproduces its schedule forever.  These tests
+drive each scheduler through mixed enabled-set sequences against an
+independent replica RNG that makes exactly the documented draws, and
+additionally assert the zero-draw branches really leave the RNG state
+untouched (``getstate()`` equality).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.scheduler import (
+    BurstScheduler,
+    ChaosScheduler,
+    LaggardScheduler,
+    RandomScheduler,
+)
+
+#: a mixed diet of enabled sets: growing, shrinking, singleton, gappy.
+ENABLED_SEQUENCES = [
+    [0, 1, 2, 3],
+    [1, 3],
+    [0],
+    [0, 2, 4, 6, 8],
+    [5],
+    [2, 3, 4],
+    [0, 1],
+    [7, 8, 9],
+    [1],
+    [0, 1, 2, 3, 4, 5],
+] * 6
+
+
+def test_random_scheduler_one_choice_per_batch():
+    scheduler = RandomScheduler(seed=42)
+    replica = random.Random(42)
+    for enabled in ENABLED_SEQUENCES:
+        assert scheduler.next_batch(enabled) == [replica.choice(enabled)]
+
+
+def test_laggard_scheduler_one_choice_per_batch_from_documented_pool():
+    patience = 3
+    scheduler = LaggardScheduler([0, 1], patience=patience, seed=7)
+    replica = random.Random(7)
+    budget = patience
+    for enabled in ENABLED_SEQUENCES:
+        eager = [a for a in enabled if a not in (0, 1)]
+        if eager and budget > 0:
+            budget -= 1
+            expected = [replica.choice(eager)]
+        else:
+            lagging = [a for a in enabled if a in (0, 1)]
+            if lagging:
+                budget = patience
+                expected = [replica.choice(lagging)]
+            else:
+                expected = [replica.choice(eager)]
+        assert scheduler.next_batch(enabled) == expected
+
+
+def test_chaos_scheduler_draws_only_in_documented_modes():
+    epoch = 4
+    scheduler = ChaosScheduler(epoch=epoch, seed=11)
+    replica = random.Random(11)
+    burst_target = None
+    for step, enabled in enumerate(ENABLED_SEQUENCES):
+        mode = (step // epoch) % 4
+        state_before = scheduler._rng.getstate()
+        if mode == 0:
+            expected = [replica.choice(enabled)]
+        elif mode == 1:
+            expected = [enabled[-1] if len(enabled) > 1 else enabled[0]]
+        elif mode == 2:
+            expected = [enabled[0]]
+        else:
+            if burst_target not in enabled:
+                burst_target = replica.choice(enabled)
+            expected = [burst_target]
+        got = scheduler.next_batch(enabled)
+        assert got == expected, f"step {step} mode {mode}"
+        if mode in (1, 2):
+            # Starvation modes consume no randomness at all.
+            assert scheduler._rng.getstate() == state_before
+
+
+def test_burst_scheduler_continuing_a_burst_draws_nothing():
+    burst = 3
+    scheduler = BurstScheduler(burst=burst, seed=5)
+    replica = random.Random(5)
+    current, remaining = None, 0
+    for enabled in ENABLED_SEQUENCES:
+        state_before = scheduler._rng.getstate()
+        if current is not None and current in enabled and remaining > 0:
+            remaining -= 1
+            expected = [current]
+            continuing = True
+        else:
+            current = replica.choice(enabled)
+            remaining = burst - 1
+            expected = [current]
+            continuing = False
+        assert scheduler.next_batch(enabled) == expected
+        if continuing:
+            assert scheduler._rng.getstate() == state_before
+
+
+def test_same_seed_same_schedule_forever():
+    # The end-to-end consequence of the contract: two instances with the
+    # same seed, fed the same enabled sequences, agree batch for batch.
+    for factory in (
+        lambda: RandomScheduler(seed=3),
+        lambda: LaggardScheduler([0], patience=4, seed=3),
+        lambda: ChaosScheduler(epoch=5, seed=3),
+        lambda: BurstScheduler(burst=6, seed=3),
+    ):
+        a, b = factory(), factory()
+        for enabled in ENABLED_SEQUENCES:
+            assert a.next_batch(enabled) == b.next_batch(enabled)
