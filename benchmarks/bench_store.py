@@ -175,3 +175,89 @@ def test_warm_cache_sweep_speedup(benchmark, tmp_path_factory):
             f"speedup: {speedup:.0f}x",
         ],
     )
+
+
+_INDEX_RECORDS = 50_000
+
+
+def _fabricate_shard(root: Path, count: int) -> list:
+    """Write ``count`` records straight into one shard file.
+
+    Bypasses ``put()`` (50k one-line appends would dominate the setup)
+    but produces byte-for-byte the lines put() would have written:
+    canonical JSON with an ``_ts`` envelope stamp.  The store's tail
+    scan discovers and indexes them on first open, exactly like a shard
+    inherited from an index-oblivious writer.
+    """
+    template = _synthetic_records(1)[0].to_dict()
+    hashes = [f"{index:064x}" for index in range(count)]
+    lines = [
+        json.dumps(
+            dict(template, content_hash=content_hash, _ts=index + 1),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for index, content_hash in enumerate(hashes)
+    ]
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "shard-bench.jsonl").write_text("\n".join(lines) + "\n")
+    return hashes
+
+
+def test_indexed_open_and_lookup_vs_scan(benchmark, tmp_path_factory):
+    # The acceptance case for the SQLite secondary index: once built,
+    # a cold open + point lookup must beat the full-shard scan the
+    # memory backend pays on every open by >= 10x at ~50k records.
+    root = tmp_path_factory.mktemp("indexed")
+    hashes = _fabricate_shard(root, _INDEX_RECORDS)
+    target = hashes[len(hashes) // 2]
+
+    start = time.perf_counter()
+    store = RunStore(root)  # first open: builds <root>/index.sqlite
+    build_seconds = time.perf_counter() - start
+    assert len(store) == _INDEX_RECORDS
+    store.close()
+
+    def scan_open_and_get():
+        start = time.perf_counter()
+        scanned = RunStore(root, index="memory")
+        record = scanned.get(target)
+        scanned.close()
+        return record, time.perf_counter() - start
+
+    scan_seconds = min(scan_open_and_get()[1] for _ in range(3))
+
+    def indexed_open_and_get():
+        start = time.perf_counter()
+        indexed = RunStore(root)
+        record = indexed.get(target)
+        elapsed = time.perf_counter() - start
+        indexed.close()
+        return record, elapsed
+
+    record, indexed_seconds = benchmark(indexed_open_and_get)
+    assert record.content_hash == target
+    speedup = (
+        scan_seconds / indexed_seconds if indexed_seconds > 0 else float("inf")
+    )
+    assert speedup >= 10, (
+        f"indexed open+get only {speedup:.1f}x faster than scan "
+        f"({indexed_seconds:.4f}s vs {scan_seconds:.4f}s)"
+    )
+    _CASES[f"store indexed open+get x{_INDEX_RECORDS}"] = {
+        "records": _INDEX_RECORDS,
+        "index_build_seconds": round(build_seconds, 6),
+        "scan_seconds": round(scan_seconds, 6),
+        "mean_seconds": round(indexed_seconds, 6),
+        "speedup": round(speedup, 1),
+    }
+    report_lines(
+        "Run store - indexed open + point lookup",
+        [
+            f"{_INDEX_RECORDS} records, one-time index build: "
+            f"{build_seconds:.2f}s",
+            f"scan backend (open+get): {scan_seconds:.3f}s",
+            f"sqlite index (open+get): {indexed_seconds:.4f}s",
+            f"speedup: {speedup:.0f}x",
+        ],
+    )

@@ -257,6 +257,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="only runs that did not deploy uniformly",
     )
     query_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help=(
+            "page size: print at most N matches (matches are ordered by "
+            "content hash, so pages are stable across invocations)"
+        ),
+    )
+    query_parser.add_argument(
+        "--offset", type=int, default=0, metavar="N",
+        help="skip the first N matches (pagination, with --limit)",
+    )
+    query_parser.add_argument(
+        "--failures", action="store_true",
+        help=(
+            "list the store's archived failure artifacts "
+            "(<store>/failures/) instead of run records"
+        ),
+    )
+    query_parser.add_argument(
+        "--quarantine", action="store_true",
+        help=(
+            "list the store's quarantined-unit artifacts "
+            "(<store>/quarantine/) instead of run records"
+        ),
+    )
+    query_parser.add_argument(
         "--json", action="store_true",
         help="emit the full matching records as JSON",
     )
@@ -647,6 +672,94 @@ def build_parser() -> argparse.ArgumentParser:
             "skip units already completed per the store and campaign ledger "
             "(the default; --no-resume re-executes everything)"
         ),
+    )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the experiment service: the run store behind an HTTP API",
+        description=(
+            "Start a long-lived daemon exposing a run store over a "
+            "versioned JSON API: POST /v1/jobs submits an experiment, "
+            "sweep, fuzz or campaign spec for in-process execution, "
+            "GET /v1/jobs/{id} polls live progress, GET /v1/runs queries "
+            "archived records with filters and pagination, and "
+            "GET /v1/store/digest exposes the logical content digest.  "
+            "Stdlib only; stop with ^C."
+        ),
+    )
+    serve_parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="run store the service reads and writes (created if absent)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port to bind (0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="job-executor threads draining the submission queue",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+    submit_parser = commands.add_parser(
+        "submit",
+        help="submit a spec file to a running experiment service",
+        description=(
+            "POST a serialized ExperimentSpec/SweepSpec/FuzzSpec/"
+            "CampaignSpec to `repro serve` and print the job id; with "
+            "--wait, poll until the job finishes and exit 0/1 on "
+            "completed/failed."
+        ),
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL (default %(default)s)",
+    )
+    submit_parser.add_argument(
+        "--kind", required=True,
+        choices=("experiment", "sweep", "fuzz", "campaign"),
+    )
+    submit_parser.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="JSON spec file of the given kind",
+    )
+    submit_parser.add_argument(
+        "--processes", type=int, default=None,
+        help="sweep jobs: worker processes on the server (default 1)",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job completes or fails",
+    )
+    submit_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="polling interval with --wait (default %(default)s)",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=3600.0, metavar="SECONDS",
+        help="give up waiting after this long (default %(default)s)",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true", help="print the final job as JSON"
+    )
+
+    jobs_parser = commands.add_parser(
+        "jobs",
+        help="list or inspect jobs on a running experiment service",
+    )
+    jobs_parser.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL (default %(default)s)",
+    )
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id to inspect (omit to list all jobs)",
+    )
+    jobs_parser.add_argument(
+        "--json", action="store_true", help="print raw JSON"
     )
 
     return parser
@@ -1193,6 +1306,34 @@ def _command_query(args: argparse.Namespace) -> int:
         # identical runs with a one-line comparison.
         print(store.digest())
         return 0
+    if args.failures or args.quarantine:
+        # Artifact discovery without globbing the store directory: the
+        # same listing the service serves at /v1/failures|/v1/quarantine.
+        archive = store.quarantine if args.quarantine else store.failures
+        if args.json:
+            print(json.dumps(archive.list(), indent=2))
+            return 0
+        for content_hash, payload in archive:
+            kind = payload.get("kind", payload.get("reason", "?"))
+            print(f"{content_hash[:16]}  {kind}")
+        print(f"\n{archive.describe()}")
+        return 0
+    if args.limit is not None and args.limit < 1:
+        raise ReproError(f"--limit must be >= 1, got {args.limit}")
+    if args.offset < 0:
+        raise ReproError(f"--offset must be >= 0, got {args.offset}")
+    total = store.count(
+        algorithm=args.algorithm,
+        scheduler=args.scheduler,
+        ring_size=args.n,
+        agent_count=args.k,
+        uniform=False if args.failed else None,
+        hash_prefix=args.hash,
+    )
+    # Matches come back in content-hash order — stable across shard
+    # layouts and invocations, which is what makes --limit/--offset
+    # real pagination.  (Before pagination existed, output order was
+    # shard-scan order, i.e. dependent on which pid wrote which cell.)
     records = list(
         store.query(
             algorithm=args.algorithm,
@@ -1201,16 +1342,18 @@ def _command_query(args: argparse.Namespace) -> int:
             agent_count=args.k,
             uniform=False if args.failed else None,
             hash_prefix=args.hash,
+            limit=args.limit,
+            offset=args.offset,
         )
     )
-    if args.hash and len(records) > 1:
+    if args.hash and total > 1:
         # An abbreviated hash is a *prefix*, like git's short object
         # names: when it (together with the other filters) matches
         # several records, say so and list every match rather than
         # silently picking one.  The note goes to stderr so --json
         # output stays machine-readable.
         print(
-            f"hash prefix {args.hash!r} is ambiguous: {len(records)} "
+            f"hash prefix {args.hash!r} is ambiguous: {total} "
             "archived runs match; listing all of them",
             file=sys.stderr if args.json else sys.stdout,
         )
@@ -1230,7 +1373,111 @@ def _command_query(args: argparse.Namespace) -> int:
         )
         rows.append(row)
     print(format_rows(rows))
-    print(f"\n{len(rows)} of {len(store)} archived runs matched")
+    if args.limit is not None or args.offset:
+        print(
+            f"\npage: {len(rows)} of {total} matched runs "
+            f"(offset {args.offset}, {len(store)} archived)"
+        )
+    else:
+        print(f"\n{len(rows)} of {len(store)} archived runs matched")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve_forever
+
+    _require_positive_workers(args.workers, "--workers")
+    return serve_forever(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quiet=args.quiet,
+    )
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    options = {}
+    if args.processes is not None:
+        _require_positive_workers(args.processes, "--processes")
+        options["processes"] = args.processes
+    client = ServeClient(args.url)
+    job = client.submit(args.kind, spec, options)
+    if not args.wait:
+        if args.json:
+            print(json.dumps(job, indent=2))
+        else:
+            print(f"submitted {job['id']} ({job['kind']} "
+                  f"{job['spec_hash'][:16]}, state {job['state']})")
+        return 0
+
+    last = {"line": None}
+
+    def on_progress(polled) -> None:
+        progress = polled.get("progress") or {}
+        line = ", ".join(f"{k}={v}" for k, v in progress.items())
+        if line and line != last["line"] and not args.json:
+            print(f"  ... {line}", file=sys.stderr)
+            last["line"] = line
+
+    job = client.wait(
+        job["id"], poll=args.poll, timeout=args.timeout,
+        on_progress=on_progress,
+    )
+    if args.json:
+        print(json.dumps(job, indent=2))
+    elif job["state"] == "completed":
+        result = job.get("result") or {}
+        summary = result.get("summary") or json.dumps(result)
+        print(f"{job['id']} completed: {summary}")
+    else:
+        print(f"{job['id']} failed: {job.get('error')}")
+    return 0 if job["state"] == "completed" else 1
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.job_id:
+        job = client.job(args.job_id)
+        if args.json:
+            print(json.dumps(job, indent=2))
+            return 0
+        print(f"{job['id']}: {job['kind']} {job['spec_hash'][:16]} "
+              f"[{job['state']}]")
+        progress = job.get("progress") or {}
+        if progress:
+            print("  progress: "
+                  + ", ".join(f"{k}={v}" for k, v in progress.items()))
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+        result = job.get("result") or {}
+        if result.get("summary"):
+            print(f"  result: {result['summary']}")
+        return 0
+    listing = client.jobs()
+    if args.json:
+        print(json.dumps(listing, indent=2))
+        return 0
+    jobs = listing.get("jobs") or []
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [
+        {
+            "id": job["id"],
+            "kind": job["kind"],
+            "spec": job["spec_hash"][:16],
+            "state": job["state"],
+        }
+        for job in jobs
+    ]
+    print(format_rows(rows))
     return 0
 
 
@@ -1270,6 +1517,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _command_campaign,
         "compare": _command_compare,
         "report": _command_report,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "jobs": _command_jobs,
     }
     handler = handlers.get(args.command)
     if handler is None:

@@ -1,0 +1,191 @@
+"""Stdlib HTTP client for the experiment service.
+
+:class:`ServeClient` wraps :mod:`urllib.request` around the ``/v1``
+API — no dependency beyond the standard library, mirroring the server.
+Every method returns the decoded JSON payload; non-2xx answers raise
+:class:`ServeError` carrying the status and the server's structured
+``{"error": {"code", "message"}}`` payload, so callers branch on
+``error.code`` instead of parsing prose.
+
+Used by the ``repro submit`` / ``repro jobs`` CLI verbs and by tests;
+third-party callers can use it directly::
+
+    client = ServeClient("http://127.0.0.1:8765")
+    job = client.submit("sweep", sweep_spec.to_dict())
+    done = client.wait(job["id"])
+    print(client.digest()["digest"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """A non-2xx answer from the service, with its structured payload."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        error = payload.get("error") if isinstance(payload, dict) else None
+        error = error if isinstance(error, dict) else {}
+        self.status = status
+        self.code = str(error.get("code", "unknown"))
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status} {self.code}: "
+            f"{error.get('message', 'no message')}"
+        )
+
+
+class ServeClient:
+    """A thin JSON-over-HTTP client for one service endpoint."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        query: Optional[Dict[str, object]] = None,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        url = self.base_url + path
+        if query:
+            pairs = {
+                name: str(value)
+                for name, value in query.items()
+                if value is not None
+            }
+            if pairs:
+                url += "?" + urllib.parse.urlencode(pairs)
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": {"code": "unknown",
+                                     "message": raw[:200].decode("latin-1")}}
+            raise ServeError(error.code, payload) from None
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot reach experiment service at {self.base_url}: "
+                f"{error.reason}"
+            ) from None
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/health")
+
+    def registry(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/registry")
+
+    def digest(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/store/digest")
+
+    def runs(
+        self,
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        n: Optional[int] = None,
+        k: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> Dict[str, object]:
+        return self._request("GET", "/v1/runs", query={
+            "algorithm": algorithm,
+            "scheduler": scheduler,
+            "n": n,
+            "k": k,
+            "uniform": None if uniform is None else str(uniform).lower(),
+            "hash": hash_prefix,
+            "limit": limit,
+            "offset": offset,
+        })
+
+    def run(self, content_hash: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/runs/{content_hash}")
+
+    def failures(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/failures")
+
+    def failure(self, content_hash: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/failures/{content_hash}")
+
+    def quarantine(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/quarantine")
+
+    def submit(
+        self,
+        kind: str,
+        spec: Dict[str, object],
+        options: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        return self._request("POST", "/v1/jobs", body={
+            "kind": kind,
+            "spec": spec,
+            "options": options or {},
+        })
+
+    def jobs(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/jobs")
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        poll: float = 0.2,
+        timeout: float = 300.0,
+        on_progress=None,
+    ) -> Dict[str, object]:
+        """Poll ``job_id`` until it completes or fails; return the job.
+
+        ``on_progress`` (if given) receives each polled job dict —
+        the CLI uses it to print live counters.  Raises
+        :class:`ReproError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if on_progress is not None:
+                on_progress(job)
+            if job.get("state") in ("completed", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"timed out after {timeout:.0f}s waiting for {job_id} "
+                    f"(state {job.get('state')!r})"
+                )
+            time.sleep(poll)

@@ -10,7 +10,12 @@ O(cells).
   schema (spec + content hash + result payload + env fingerprint +
   schema version),
 * :class:`~repro.store.jsonl.RunStore` — the JSONL shard backend
-  (in-memory index, atomic appends safe under the sweep pool),
+  (atomic appends safe under the sweep pool; lookups answered by a
+  rebuildable SQLite secondary index, with the historical full
+  in-memory scan kept as a differential oracle),
+* :class:`~repro.store.jsonl.StoreSnapshot` — frozen read-only views
+  pinning a per-shard byte frontier, so the experiment service can
+  answer concurrent queries while writers append,
 * :func:`~repro.store.cache.cached_run` — spec-in, result-out
   memoisation used by the runner, sweeps, statistics, reports and the
   CLI,
@@ -22,7 +27,8 @@ O(cells).
 from repro.store.cache import cached_run
 from repro.store.campaigns import CampaignLedger, QuarantineArchive
 from repro.store.failures import FailureArchive
-from repro.store.jsonl import RunStore
+from repro.store.index import MemoryLineIndex, SqliteLineIndex
+from repro.store.jsonl import RunStore, StoreSnapshot
 from repro.store.records import (
     STORE_SCHEMA_VERSION,
     RunRecord,
@@ -35,9 +41,12 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "CampaignLedger",
     "FailureArchive",
+    "MemoryLineIndex",
     "QuarantineArchive",
     "RunRecord",
     "RunStore",
+    "SqliteLineIndex",
+    "StoreSnapshot",
     "cached_run",
     "env_fingerprint",
     "result_from_payload",

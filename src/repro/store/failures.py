@@ -24,7 +24,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -114,6 +114,20 @@ class FailureArchive:
     def resolve(self, prefix: str) -> List[str]:
         """All archived hashes starting with ``prefix`` (sorted)."""
         return [h for h in self.hashes() if h.startswith(prefix)]
+
+    def list(self) -> List[Dict[str, object]]:
+        """Every archived payload, in sorted-hash order.
+
+        The discovery API behind ``repro query --failures`` and the
+        service's ``/v1/failures`` endpoint: callers get the artifacts
+        themselves without globbing the store directory.
+        """
+        return [self.get(content_hash) for content_hash in self.hashes()]
+
+    def __iter__(self) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Iterate ``(content_hash, payload)`` pairs in sorted-hash order."""
+        for content_hash in self.hashes():
+            yield content_hash, self.get(content_hash)
 
     def __contains__(self, content_hash: str) -> bool:
         return self._path(content_hash).exists()

@@ -1,0 +1,754 @@
+"""Secondary indexes over the run store's JSONL shards.
+
+The shards are the *only* source of truth — everything in this module
+is a derived, rebuildable view of them.  Two interchangeable backends
+index the shard bytes line by line:
+
+* :class:`SqliteLineIndex` — a persistent SQLite database
+  (``<store>/index.sqlite``) shared by every handle and every process
+  on the store.  Opening a store becomes O(new bytes): the database
+  remembers how far each shard has been consumed, so a reopen tails
+  only appended bytes instead of re-parsing the whole archive, and a
+  point lookup is one ``SELECT`` plus one line read.
+* :class:`MemoryLineIndex` — the historical per-handle in-memory scan.
+  It exists as the *differential oracle*: it answers every index
+  question from a full JSONL parse, so any disagreement with the
+  SQLite backend is an index bug (``RunStore.verify_index`` and the
+  property tests in ``tests/test_store_index.py`` pin the equality).
+
+Both backends index **physical lines**, not logical records: a
+``put(replace=True)`` appends a new line, and the winning line for a
+content hash is resolved at query time as the one with the greatest
+``(stamp, ord)`` — exactly the last-wins rule the in-memory scan has
+always applied.  Keeping every line makes the index append-only like
+the shards themselves, which is what makes *snapshots* trivial: a
+snapshot is nothing but a pinned per-shard byte frontier, and a line
+is visible to it iff the line starts below the frontier.  Appends
+(including replacements) land beyond every existing frontier, so a
+snapshot's answers can never change.
+
+Visibility frontiers are plain ``{shard_name: consumed_bytes}`` dicts;
+``None`` means "everything indexed so far" (the global view used when
+stamping replacements).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "INDEX_SCHEMA_VERSION",
+    "LineEntry",
+    "MemoryLineIndex",
+    "SqliteLineIndex",
+    "parse_shard_lines",
+]
+
+#: Version of the SQLite index schema; a mismatch triggers a rebuild
+#: (the index is derived data — rebuilding is always safe).
+INDEX_SCHEMA_VERSION = 1
+
+_SHARD_GLOB = "shard-*.jsonl"
+
+
+@dataclass(frozen=True)
+class LineEntry:
+    """One indexed shard line: its location plus the cheap query fields."""
+
+    shard: str  # shard file *name* (stable if the store directory moves)
+    offset: int
+    length: int  # line bytes, newline excluded
+    content_hash: str
+    algorithm: str
+    scheduler: str
+    ring_size: int
+    agent_count: int
+    uniform: bool
+    stamp: int  # wall-clock write stamp (envelope "_ts"), 0 if absent
+    ord: int  # monotonic indexing order; breaks stamp ties (later wins)
+
+
+def entry_from_payload(
+    shard: str, offset: int, length: int, payload: Dict[str, object], ord_: int
+) -> LineEntry:
+    """Extract the index row of one parsed shard line."""
+    if not isinstance(payload, dict) or "content_hash" not in payload:
+        raise ConfigurationError(
+            f"corrupt run store: {shard} record at byte {offset} "
+            f"has no content_hash"
+        )
+    result = payload.get("result") or {}
+    spec = payload.get("spec") or {}
+    scheduler = (
+        spec.get("scheduler", {}).get("spec")
+        if isinstance(spec.get("scheduler"), dict)
+        else None
+    ) or str(result.get("scheduler", ""))
+    report = result.get("report") or {}
+    return LineEntry(
+        shard=shard,
+        offset=offset,
+        length=length,
+        content_hash=str(payload["content_hash"]),
+        algorithm=str(result.get("algorithm", "")),
+        scheduler=scheduler,
+        ring_size=int(result.get("ring_size", 0)),
+        agent_count=len(result.get("homes", ())),
+        uniform=bool(report.get("ok", False)),
+        stamp=int(payload.get("_ts", 0)),
+        ord=ord_,
+    )
+
+
+def parse_shard_lines(
+    path: Path, start: int, size: int
+) -> Tuple[List[Tuple[int, int, Dict[str, object]]], int, int, int]:
+    """Parse ``path``'s bytes in ``[start, size)`` into JSON lines.
+
+    Returns ``(lines, consumed, torn, corrupt)`` where each line is
+    ``(offset, length, payload)``, ``consumed`` is the byte frontier
+    after the last complete line, ``torn`` is 1 when the tail is an
+    unterminated partial append, and ``corrupt`` counts
+    newline-terminated garbage (a torn tail a later writer fenced off).
+    """
+    if size <= start:
+        return [], start, 0, 0
+    with path.open("rb") as handle:
+        handle.seek(start)
+        data = handle.read(size - start)
+    lines: List[Tuple[int, int, Dict[str, object]]] = []
+    torn = 0
+    corrupt = 0
+    pos = 0
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        if newline == -1:
+            # Torn tail: a writer died mid-append (or is still
+            # appending).  Leave it unconsumed; a later scan picks the
+            # record up whole once the line terminates.
+            torn += 1
+            break
+        raw = data[pos:newline]
+        if raw:
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                # A torn tail that a later writer newline-terminated.
+                # Committed records are never affected; count it and
+                # move on rather than wedging readers.
+                corrupt += 1
+            else:
+                lines.append((start + pos, len(raw), payload))
+        pos = newline + 1
+    return lines, start + pos, torn, corrupt
+
+
+def _visible(entry: LineEntry, frontier: Optional[Dict[str, int]]) -> bool:
+    if frontier is None:
+        return True
+    return entry.offset < frontier.get(entry.shard, 0)
+
+
+def _matches(
+    entry: LineEntry,
+    algorithm: Optional[str],
+    scheduler: Optional[str],
+    ring_size: Optional[int],
+    agent_count: Optional[int],
+    uniform: Optional[bool],
+    hash_prefix: Optional[str],
+) -> bool:
+    if algorithm is not None and entry.algorithm != algorithm:
+        return False
+    if scheduler is not None and entry.scheduler != scheduler:
+        return False
+    if ring_size is not None and entry.ring_size != ring_size:
+        return False
+    if agent_count is not None and entry.agent_count != agent_count:
+        return False
+    if uniform is not None and entry.uniform != uniform:
+        return False
+    if hash_prefix is not None and not entry.content_hash.startswith(
+        hash_prefix
+    ):
+        return False
+    return True
+
+
+class MemoryLineIndex:
+    """The historical full-scan index, reshaped around physical lines.
+
+    Per-handle and ephemeral: opening a store with this backend parses
+    every shard byte into memory.  Kept as the reference semantics the
+    SQLite backend is differentially tested against, and as the slow
+    path the ``bench_store`` indexed-vs-scan benchmark measures.
+    """
+
+    persistent = False
+
+    def __init__(self) -> None:
+        self._by_hash: Dict[str, List[LineEntry]] = {}
+        self._consumed: Dict[str, int] = {}
+        self._ord = 0
+        self.torn_tails = 0
+        self.corrupt_lines = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def tail(self, root: Path, only: Optional[str] = None) -> None:
+        """Index bytes appended since the last scan (all shards, or one)."""
+        if only is not None:
+            paths = [root / only]
+        else:
+            paths = sorted(root.glob(_SHARD_GLOB))
+        for path in paths:
+            if not path.exists():
+                continue
+            start = self._consumed.get(path.name, 0)
+            size = path.stat().st_size
+            lines, consumed, torn, corrupt = parse_shard_lines(
+                path, start, size
+            )
+            self.torn_tails += torn
+            self.corrupt_lines += corrupt
+            for offset, length, payload in lines:
+                self._add(path.name, offset, length, payload)
+            self._consumed[path.name] = consumed
+
+    def _add(
+        self, shard: str, offset: int, length: int, payload: Dict[str, object]
+    ) -> None:
+        entry = entry_from_payload(shard, offset, length, payload, self._ord)
+        self._ord += 1
+        bucket = self._by_hash.setdefault(entry.content_hash, [])
+        if any(e.shard == shard and e.offset == offset for e in bucket):
+            return  # idempotent re-scan of the same physical line
+        bucket.append(entry)
+
+    def add_line(
+        self,
+        shard: str,
+        offset: int,
+        length: int,
+        payload: Dict[str, object],
+        *,
+        advance_to: Optional[int] = None,
+    ) -> None:
+        """Index one line a local ``put`` just appended.
+
+        ``advance_to`` moves the shard's consumed frontier when the
+        append was contiguous with it; a gap (torn tail before the
+        line) leaves the frontier behind so the next tail re-walks it.
+        """
+        self._add(shard, offset, length, payload)
+        if advance_to is not None:
+            self._consumed[shard] = max(
+                self._consumed.get(shard, 0), advance_to
+            )
+
+    # -- reading -------------------------------------------------------------
+
+    def frontier(self) -> Dict[str, int]:
+        return dict(self._consumed)
+
+    def _winner_of(
+        self, bucket: List[LineEntry], frontier: Optional[Dict[str, int]]
+    ) -> Optional[LineEntry]:
+        best: Optional[LineEntry] = None
+        for entry in bucket:
+            if not _visible(entry, frontier):
+                continue
+            if best is None or (entry.stamp, entry.ord) >= (
+                best.stamp, best.ord
+            ):
+                best = entry
+        return best
+
+    def winner(
+        self, content_hash: str, frontier: Optional[Dict[str, int]]
+    ) -> Optional[LineEntry]:
+        bucket = self._by_hash.get(content_hash)
+        if not bucket:
+            return None
+        return self._winner_of(bucket, frontier)
+
+    def winners(
+        self,
+        frontier: Optional[Dict[str, int]],
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        ring_size: Optional[int] = None,
+        agent_count: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[LineEntry]:
+        """Winning entries in content-hash order, filtered and paginated."""
+        matched = []
+        for content_hash in sorted(self._by_hash):
+            entry = self._winner_of(self._by_hash[content_hash], frontier)
+            if entry is None:
+                continue
+            if not _matches(
+                entry, algorithm, scheduler, ring_size, agent_count,
+                uniform, hash_prefix,
+            ):
+                continue
+            matched.append(entry)
+        if offset:
+            matched = matched[offset:]
+        if limit is not None:
+            matched = matched[:limit]
+        return matched
+
+    def count(self, frontier: Optional[Dict[str, int]]) -> int:
+        return sum(
+            1
+            for bucket in self._by_hash.values()
+            if self._winner_of(bucket, frontier) is not None
+        )
+
+    def hashes(self, frontier: Optional[Dict[str, int]]) -> List[str]:
+        return sorted(
+            content_hash
+            for content_hash, bucket in self._by_hash.items()
+            if self._winner_of(bucket, frontier) is not None
+        )
+
+    def resolve_prefix(
+        self, prefix: str, frontier: Optional[Dict[str, int]]
+    ) -> List[str]:
+        return [h for h in self.hashes(frontier) if h.startswith(prefix)]
+
+    def rebuild(self, root: Path) -> None:
+        self.__init__()
+        self.tail(root)
+
+    def close(self) -> None:
+        pass
+
+
+class SqliteLineIndex:
+    """Persistent shard index: ``<store>/index.sqlite``.
+
+    Pure derived data: every row mirrors one committed shard line, and
+    a ``shards`` table remembers the consumed byte frontier per shard
+    file.  Any process may update it (appends are discovered by
+    tailing, so even writers that never touch the index — old builds,
+    memory-mode handles — are picked up by the next indexed reader),
+    and any inconsistency with the shard files on disk (missing or
+    shorter shard, schema bump, corrupt database) triggers a full
+    rebuild rather than a wrong answer.
+
+    Thread safety: one connection per index instance, serialised by an
+    RLock (``check_same_thread=False`` so server threads share it);
+    cross-process safety comes from SQLite's own locking (WAL mode +
+    busy timeout).  Durability is deliberately relaxed
+    (``synchronous=OFF``): losing the last transactions to a crash
+    merely lags the frontier, and the next tail re-indexes the lines.
+    """
+
+    persistent = True
+
+    FILENAME = "index.sqlite"
+
+    _COLUMNS = (
+        "shard, offset, length, content_hash, algorithm, scheduler, "
+        "ring_size, agent_count, uniform, stamp, ord"
+    )
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.path = root / self.FILENAME
+        self._lock = threading.RLock()
+        self.torn_tails = 0
+        self.corrupt_lines = 0
+        try:
+            self._conn = self._connect()
+            self._ensure_schema()
+        except sqlite3.DatabaseError:
+            # Corrupt database file: the index is derived data, so
+            # drop it and start over instead of failing the open.
+            self._discard_database()
+            self._conn = self._connect()
+            self._ensure_schema()
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            str(self.path), timeout=30.0, check_same_thread=False
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=OFF")
+        conn.execute("PRAGMA busy_timeout=30000")
+        return conn
+
+    def _discard_database(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{suffix}")
+            except OSError:
+                pass
+
+    def _ensure_schema(self) -> None:
+        with self._lock, self._conn:
+            self._conn.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS meta (
+                    key TEXT PRIMARY KEY, value TEXT NOT NULL);
+                CREATE TABLE IF NOT EXISTS shards (
+                    shard TEXT PRIMARY KEY, consumed INTEGER NOT NULL);
+                CREATE TABLE IF NOT EXISTS lines (
+                    ord INTEGER PRIMARY KEY AUTOINCREMENT,
+                    shard TEXT NOT NULL,
+                    offset INTEGER NOT NULL,
+                    length INTEGER NOT NULL,
+                    content_hash TEXT NOT NULL,
+                    algorithm TEXT NOT NULL,
+                    scheduler TEXT NOT NULL,
+                    ring_size INTEGER NOT NULL,
+                    agent_count INTEGER NOT NULL,
+                    uniform INTEGER NOT NULL,
+                    stamp INTEGER NOT NULL);
+                CREATE UNIQUE INDEX IF NOT EXISTS idx_lines_pos
+                    ON lines(shard, offset);
+                CREATE INDEX IF NOT EXISTS idx_lines_hash
+                    ON lines(content_hash, stamp, ord);
+                CREATE INDEX IF NOT EXISTS idx_lines_fields
+                    ON lines(algorithm, ring_size, agent_count);
+                """
+            )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta(key, value) VALUES('schema', ?)",
+                    (str(INDEX_SCHEMA_VERSION),),
+                )
+            elif row[0] != str(INDEX_SCHEMA_VERSION):
+                # Older (or newer) index layout: rebuild from shards.
+                self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        """Drop every derived row (caller holds lock + transaction)."""
+        self._conn.execute("DELETE FROM lines")
+        self._conn.execute("DELETE FROM shards")
+        self._conn.execute("DELETE FROM meta")
+        self._conn.execute(
+            "INSERT INTO meta(key, value) VALUES('schema', ?)",
+            (str(INDEX_SCHEMA_VERSION),),
+        )
+
+    def rebuild(self, root: Path) -> None:
+        """Discard the index and re-derive it from the shard files."""
+        with self._lock:
+            with self._conn:
+                self._reset_locked()
+            self.tail(root)
+
+    # -- writing -------------------------------------------------------------
+
+    def tail(self, root: Path, only: Optional[str] = None) -> None:
+        """Index shard bytes appended since the recorded frontier.
+
+        Detects stale state first: a recorded shard that disappeared or
+        shrank means the directory was rewritten under us (renames,
+        restores from backup), and the whole index is rebuilt from
+        scratch — derived data is never patched into correctness.
+        """
+        with self._lock:
+            recorded = dict(
+                self._conn.execute("SELECT shard, consumed FROM shards")
+            )
+            on_disk = {
+                path.name: path for path in sorted(root.glob(_SHARD_GLOB))
+            }
+            stale = [
+                shard
+                for shard, consumed in recorded.items()
+                if shard not in on_disk
+                or on_disk[shard].stat().st_size < consumed
+            ]
+            if not stale and only is None:
+                # Shards are append-only under normal operation, but a
+                # reopen must also survive a shard *rewritten in place*
+                # (restored from backup, doctored by hand): any rewrite
+                # that moves bytes invalidates every recorded offset.
+                # Cheap detection: the last indexed line of each shard
+                # must still round-trip at its recorded position.
+                for shard in recorded:
+                    if not self._tail_line_intact_locked(on_disk[shard]):
+                        stale.append(shard)
+            if stale:
+                # A recorded shard vanished or shrank: the directory
+                # was rewritten under us, so every derived row is
+                # suspect — re-derive the whole index from disk.
+                with self._conn:
+                    self._reset_locked()
+                recorded = {}
+                targets = on_disk
+            elif only is not None:
+                path = root / only
+                targets = {only: path} if path.exists() else {}
+            else:
+                targets = on_disk
+            for shard, path in targets.items():
+                start = int(recorded.get(shard, 0))
+                size = path.stat().st_size
+                if size <= start:
+                    continue
+                lines, consumed, torn, corrupt = parse_shard_lines(
+                    path, start, size
+                )
+                self.torn_tails += torn
+                self.corrupt_lines += corrupt
+                with self._conn:
+                    for offset, length, payload in lines:
+                        self._insert_locked(shard, offset, length, payload)
+                    self._advance_locked(shard, consumed)
+
+    def _tail_line_intact_locked(self, path: Path) -> bool:
+        row = self._conn.execute(
+            "SELECT offset, length, content_hash, stamp FROM lines "
+            "WHERE shard=? ORDER BY offset DESC LIMIT 1",
+            (path.name,),
+        ).fetchone()
+        if row is None:
+            return True
+        offset, length, content_hash, stamp = row
+        try:
+            with path.open("rb") as handle:
+                handle.seek(int(offset))
+                payload = json.loads(handle.read(int(length)))
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(payload, dict)
+            and payload.get("content_hash") == content_hash
+            and int(payload.get("_ts", 0)) == int(stamp)
+        )
+
+    def _insert_locked(
+        self, shard: str, offset: int, length: int, payload: Dict[str, object]
+    ) -> None:
+        entry = entry_from_payload(shard, offset, length, payload, 0)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO lines(shard, offset, length, content_hash,"
+            " algorithm, scheduler, ring_size, agent_count, uniform, stamp)"
+            " VALUES(?,?,?,?,?,?,?,?,?,?)",
+            (
+                entry.shard,
+                entry.offset,
+                entry.length,
+                entry.content_hash,
+                entry.algorithm,
+                entry.scheduler,
+                entry.ring_size,
+                entry.agent_count,
+                1 if entry.uniform else 0,
+                entry.stamp,
+            ),
+        )
+
+    def _advance_locked(self, shard: str, consumed: int) -> None:
+        self._conn.execute(
+            "INSERT INTO shards(shard, consumed) VALUES(?, ?) "
+            "ON CONFLICT(shard) DO UPDATE SET consumed=max(consumed, ?)",
+            (shard, consumed, consumed),
+        )
+
+    def add_line(
+        self,
+        shard: str,
+        offset: int,
+        length: int,
+        payload: Dict[str, object],
+        *,
+        advance_to: Optional[int] = None,
+    ) -> None:
+        """Transactionally index one line a local ``put`` appended."""
+        with self._lock, self._conn:
+            self._insert_locked(shard, offset, length, payload)
+            if advance_to is not None:
+                self._advance_locked(shard, advance_to)
+
+    # -- reading -------------------------------------------------------------
+
+    def frontier(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                shard: int(consumed)
+                for shard, consumed in self._conn.execute(
+                    "SELECT shard, consumed FROM shards"
+                )
+            }
+
+    @staticmethod
+    def _frontier_clause(
+        frontier: Optional[Dict[str, int]]
+    ) -> Tuple[str, List[object]]:
+        if frontier is None:
+            return "1", []
+        live = [(shard, consumed) for shard, consumed in frontier.items()
+                if consumed > 0]
+        if not live:
+            return "0", []
+        parts = " OR ".join("(shard=? AND offset<?)" for _ in live)
+        params: List[object] = []
+        for shard, consumed in live:
+            params.extend((shard, consumed))
+        return f"({parts})", params
+
+    @staticmethod
+    def _entry(row: Tuple) -> LineEntry:
+        return LineEntry(
+            shard=row[0],
+            offset=int(row[1]),
+            length=int(row[2]),
+            content_hash=row[3],
+            algorithm=row[4],
+            scheduler=row[5],
+            ring_size=int(row[6]),
+            agent_count=int(row[7]),
+            uniform=bool(row[8]),
+            stamp=int(row[9]),
+            ord=int(row[10]),
+        )
+
+    def winner(
+        self, content_hash: str, frontier: Optional[Dict[str, int]]
+    ) -> Optional[LineEntry]:
+        clause, params = self._frontier_clause(frontier)
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {self._COLUMNS} FROM lines "
+                f"WHERE content_hash=? AND {clause} "
+                f"ORDER BY stamp DESC, ord DESC LIMIT 1",
+                [content_hash, *params],
+            ).fetchone()
+        return self._entry(row) if row else None
+
+    def _winner_query(
+        self,
+        select: str,
+        frontier: Optional[Dict[str, int]],
+        algorithm: Optional[str],
+        scheduler: Optional[str],
+        ring_size: Optional[int],
+        agent_count: Optional[int],
+        uniform: Optional[bool],
+        hash_prefix: Optional[str],
+        tail_sql: str,
+        tail_params: List[object],
+    ) -> Iterable[Tuple]:
+        clause, params = self._frontier_clause(frontier)
+        filters = []
+        filter_params: List[object] = []
+        for field, value in (
+            ("algorithm", algorithm),
+            ("scheduler", scheduler),
+            ("ring_size", ring_size),
+            ("agent_count", agent_count),
+        ):
+            if value is not None:
+                filters.append(f"{field}=?")
+                filter_params.append(value)
+        if uniform is not None:
+            filters.append("uniform=?")
+            filter_params.append(1 if uniform else 0)
+        if hash_prefix is not None:
+            filters.append("substr(content_hash, 1, ?)=?")
+            filter_params.extend((len(hash_prefix), hash_prefix))
+        where = " AND ".join(filters) if filters else "1"
+        sql = (
+            f"SELECT {select} FROM ("
+            f"  SELECT {self._COLUMNS}, ROW_NUMBER() OVER ("
+            f"    PARTITION BY content_hash ORDER BY stamp DESC, ord DESC"
+            f"  ) AS rn FROM lines WHERE {clause}"
+            f") WHERE rn=1 AND {where} {tail_sql}"
+        )
+        with self._lock:
+            return self._conn.execute(
+                sql, [*params, *filter_params, *tail_params]
+            ).fetchall()
+
+    def winners(
+        self,
+        frontier: Optional[Dict[str, int]],
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        ring_size: Optional[int] = None,
+        agent_count: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[LineEntry]:
+        tail = "ORDER BY content_hash"
+        tail_params: List[object] = []
+        if limit is not None or offset:
+            # SQLite requires LIMIT before OFFSET; -1 means unbounded.
+            tail += " LIMIT ? OFFSET ?"
+            tail_params = [-1 if limit is None else limit, offset]
+        rows = self._winner_query(
+            self._COLUMNS, frontier, algorithm, scheduler, ring_size,
+            agent_count, uniform, hash_prefix, tail, tail_params,
+        )
+        return [self._entry(row) for row in rows]
+
+    def count(self, frontier: Optional[Dict[str, int]]) -> int:
+        # One winner exists per distinct visible hash, so counting
+        # winners is counting distinct hashes — no window scan needed.
+        clause, params = self._frontier_clause(frontier)
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT COUNT(DISTINCT content_hash) FROM lines "
+                f"WHERE {clause}",
+                params,
+            ).fetchone()
+        return int(row[0])
+
+    def hashes(self, frontier: Optional[Dict[str, int]]) -> List[str]:
+        clause, params = self._frontier_clause(frontier)
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT DISTINCT content_hash FROM lines WHERE {clause} "
+                f"ORDER BY content_hash",
+                params,
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def resolve_prefix(
+        self, prefix: str, frontier: Optional[Dict[str, int]]
+    ) -> List[str]:
+        clause, params = self._frontier_clause(frontier)
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT DISTINCT content_hash FROM lines "
+                f"WHERE substr(content_hash, 1, ?)=? AND {clause} "
+                f"ORDER BY content_hash",
+                [len(prefix), prefix, *params],
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._conn.close()
+            except Exception:
+                pass

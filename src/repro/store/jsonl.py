@@ -14,15 +14,32 @@ cross-process locking:
 * readers can :meth:`RunStore.refresh` at any time and see exactly the
   records whose writes completed.
 
-The in-memory index maps ``content_hash`` to the shard/offset of the
-record plus the small query fields (algorithm, scheduler, n, k,
-uniform), so :meth:`RunStore.query` filters millions of records without
-parsing them and :meth:`RunStore.get` reads exactly one line.  If the
-same hash appears twice the line with the newest write stamp wins, scan
-order breaking ties (that is what makes ``put(replace=True)`` durable
-across reopen, whichever shard the replacement landed in); racing
-writers only ever duplicate identical payloads — runs are deterministic
-functions of their spec — so for them the choice is immaterial.
+Lookups and queries never parse the whole archive: a secondary index
+(:mod:`repro.store.index` — SQLite at ``<store>/index.sqlite`` by
+default, the historical full in-memory scan with ``index="memory"``)
+maps every committed shard line to its offset plus the small query
+fields, so :meth:`RunStore.query` filters millions of records without
+parsing them, :meth:`RunStore.get` reads exactly one line, and
+reopening a store tails only the bytes appended since the index last
+looked.  If the same hash appears on several lines the one with the
+newest write stamp wins (that is what makes ``put(replace=True)``
+durable across reopen, whichever shard the replacement landed in);
+racing writers only ever duplicate identical payloads — runs are
+deterministic functions of their spec — so for them the choice is
+immaterial.
+
+Every handle owns a *visibility frontier* — the per-shard byte offsets
+it has caught up to.  :meth:`RunStore.refresh` advances it; between
+refreshes a handle's view is stable no matter what other writers
+append, and :meth:`RunStore.snapshot` freezes the current view into a
+read-only :class:`StoreSnapshot` whose answers can never change (shards
+are append-only, so the bytes below a frontier are immutable).  That is
+what lets the experiment service serve concurrent queries while sweep
+jobs write into the same archive.
+
+Iteration and query order is sorted content-hash order — stable across
+shard layouts and refreshes.  (Before the secondary index landed it was
+shard-scan order, which depended on which pid wrote which record.)
 """
 
 from __future__ import annotations
@@ -32,20 +49,18 @@ import json
 import os
 import threading
 import time
-from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.store.index import LineEntry, MemoryLineIndex, SqliteLineIndex
 from repro.store.records import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.store.campaigns import CampaignLedger, QuarantineArchive
     from repro.store.failures import FailureArchive
 
-__all__ = ["RunStore"]
-
-_SHARD_GLOB = "shard-*.jsonl"
+__all__ = ["RunStore", "StoreSnapshot"]
 
 #: Process-wide locks, one per shard file: several RunStore handles in
 #: one process share the pid shard, so the fstat-offset/append/index
@@ -60,216 +75,27 @@ def _shard_lock(path: Path) -> threading.Lock:
         return _SHARD_LOCKS.setdefault(key, threading.Lock())
 
 
-@dataclass
-class _IndexEntry:
-    """Where one record lives plus its cheap query fields."""
+class _StoreView:
+    """Read operations over (root, line index, visibility frontier).
 
-    path: Path
-    offset: int
-    length: int
-    algorithm: str
-    scheduler: str
-    ring_size: int
-    agent_count: int
-    uniform: bool
-    order: int  # position in deterministic scan order
-    stamp: int  # wall-clock write stamp (envelope "_ts"), 0 if absent
-
-
-class RunStore:
-    """A content-addressed, append-only archive of experiment runs.
-
-    ``RunStore(directory)`` opens (creating if needed) a store rooted at
-    ``directory``.  The API is deliberately small:
-
-    * :meth:`put` — archive a record (no-op on duplicate hashes),
-    * :meth:`get` / :meth:`contains` / ``hash in store`` — lookup,
-    * :meth:`query` — filtered iteration without full parsing,
-    * :meth:`iter_records` — everything, in deterministic scan order,
-    * :meth:`refresh` — pick up records other processes appended since
-      the last scan.
+    Base of both :class:`RunStore` (whose frontier advances on
+    ``refresh``/``put``) and :class:`StoreSnapshot` (whose frontier is
+    frozen).  Subclasses set ``root``, ``_index`` and ``_frontier``.
     """
 
-    def __init__(self, root: Union[str, Path], *, create: bool = True) -> None:
-        self.root = Path(root)
-        if not self.root.exists():
-            if not create:
-                raise ConfigurationError(f"run store {self.root} does not exist")
-            self.root.mkdir(parents=True, exist_ok=True)
-        elif not self.root.is_dir():
-            raise ConfigurationError(
-                f"run store path {self.root} is not a directory"
-            )
-        self._index: Dict[str, _IndexEntry] = {}
-        self._scanned: Dict[Path, int] = {}  # shard -> bytes consumed
-        self._order = 0
-        self._torn_tails = 0
-        self._corrupt_lines = 0
-        self._lock = threading.Lock()
-        self.refresh()
+    root: Path
+    _frontier: Dict[str, int]
 
-    # -- scanning ------------------------------------------------------------
+    # -- loading -------------------------------------------------------------
 
-    def _scan_shard(self, path: Path) -> None:
-        """Index records appended to ``path`` since the last scan."""
-        start = self._scanned.get(path, 0)
-        size = path.stat().st_size
-        if size <= start:
-            return
+    def _load(self, entry: LineEntry) -> RunRecord:
+        path = self.root / entry.shard
         with path.open("rb") as handle:
-            handle.seek(start)
-            data = handle.read(size - start)
-        pos = 0
-        while pos < len(data):
-            newline = data.find(b"\n", pos)
-            if newline == -1:
-                # Torn tail: a writer died mid-append (or is still
-                # appending).  Leave it unconsumed; a later refresh
-                # picks the record up whole once the line terminates.
-                self._torn_tails += 1
-                break
-            raw = data[pos:newline]
-            if raw:
-                try:
-                    payload = json.loads(raw)
-                except json.JSONDecodeError:
-                    # A torn tail that a later writer newline-terminated
-                    # (see put()).  Committed records are never affected;
-                    # count it and move on rather than wedging readers.
-                    self._corrupt_lines += 1
-                    payload = None
-                if payload is not None:
-                    self._index_line(path, start + pos, len(raw), payload)
-            pos = newline + 1
-        self._scanned[path] = start + pos
-
-    def _index_line(
-        self, path: Path, offset: int, length: int, payload: Dict[str, object]
-    ) -> None:
-        if not isinstance(payload, dict) or "content_hash" not in payload:
-            raise ConfigurationError(
-                f"corrupt run store: {path.name} record at byte {offset} "
-                f"has no content_hash"
-            )
-        content_hash = payload["content_hash"]
-        existing = self._index.get(content_hash)
-        # The *latest write* supersedes earlier ones, so put(replace=True)
-        # survives reopen even when the replacement landed in a different
-        # pid's shard: put() stamps each line with a wall-clock "_ts"
-        # envelope key, and shard scan order breaks ties.  Racing writers
-        # only ever duplicate identical payloads (runs are deterministic
-        # functions of their spec), so ties are immaterial.  The hash
-        # keeps its first-seen position so iteration order is stable.
-        stamp = int(payload.get("_ts", 0))
-        if existing is not None and stamp < existing.stamp:
-            return
-        order = existing.order if existing is not None else self._order
-        result = payload.get("result") or {}
-        spec = payload.get("spec") or {}
-        scheduler = (
-            spec.get("scheduler", {}).get("spec")
-            if isinstance(spec.get("scheduler"), dict)
-            else None
-        ) or str(result.get("scheduler", ""))
-        report = result.get("report") or {}
-        self._index[content_hash] = _IndexEntry(
-            path=path,
-            offset=offset,
-            length=length,
-            algorithm=str(result.get("algorithm", "")),
-            scheduler=scheduler,
-            ring_size=int(result.get("ring_size", 0)),
-            agent_count=len(result.get("homes", ())),
-            uniform=bool(report.get("ok", False)),
-            order=order,
-            stamp=stamp,
-        )
-        if existing is None:
-            self._order += 1
-
-    def refresh(self) -> int:
-        """Rescan shards; return how many *new* records were indexed."""
-        with self._lock:
-            before = len(self._index)
-            for path in sorted(self.root.glob(_SHARD_GLOB)):
-                self._scan_shard(path)
-            return len(self._index) - before
-
-    # -- writing -------------------------------------------------------------
-
-    def _own_shard(self) -> Path:
-        return self.root / f"shard-{os.getpid()}.jsonl"
-
-    def put(self, record: RunRecord, *, replace: bool = False) -> bool:
-        """Archive ``record``; return False when the hash is already stored.
-
-        The write is one ``O_APPEND`` call to this process's own shard,
-        so concurrent writers (other pids, other shards) can never
-        interleave with it.  ``replace=True`` appends anyway and points
-        the index at the newer copy (the old line stays on disk — the
-        store is append-only).
-        """
-        if not isinstance(record, RunRecord):
-            raise ConfigurationError(
-                f"put() expects a RunRecord, got {type(record).__name__}"
-            )
-        path = self._own_shard()
-        with self._lock, _shard_lock(path):
-            if path.exists():
-                # Index anything appended to our shard since the last
-                # scan (e.g. by another same-pid RunStore handle, or a
-                # dead predecessor that reused this pid) before deciding
-                # about duplicates — never silently skip committed bytes.
-                self._scan_shard(path)
-            if record.content_hash in self._index and not replace:
-                return False
-            payload = record.to_dict()
-            # Envelope-only write stamp: orders duplicate hashes across
-            # shards at scan time.  RunRecord.from_dict ignores it, so
-            # loaded records compare equal to the ones that were put.
-            # A replacement must outrank whatever it replaces even if
-            # the wall clock stepped backwards (NTP, skewed peers), so
-            # never stamp at or below the record being superseded.
-            existing = self._index.get(record.content_hash)
-            stamp = time.time_ns()
-            if existing is not None and stamp <= existing.stamp:
-                stamp = existing.stamp + 1
-            payload["_ts"] = stamp
-            line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-            encoded = line.encode("utf-8") + b"\n"
-            fd = os.open(
-                path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
-            )
-            try:
-                offset = os.fstat(fd).st_size
-                gap_start = self._scanned.get(path, 0)
-                if offset > gap_start:
-                    # Unscanned bytes remain: a torn tail the scan above
-                    # stopped at, or an append that raced in since.
-                    # Start our record on a fresh line either way.
-                    os.write(fd, b"\n")
-                    offset += 1
-                os.write(fd, encoded)
-            finally:
-                os.close(fd)
-            if offset == gap_start:
-                self._scanned[path] = offset + len(encoded)
-            # else: leave _scanned at the gap so the next scan re-walks
-            # it — the gap is newline-terminated now, so valid records
-            # in it get indexed and garbage is counted and skipped;
-            # re-parsing our own line is idempotent (same write stamp).
-            self._index_line(path, offset, len(encoded) - 1, payload)
-            return True
-
-    # -- reading -------------------------------------------------------------
-
-    def _load(self, entry: _IndexEntry) -> RunRecord:
-        with entry.path.open("rb") as handle:
             handle.seek(entry.offset)
             raw = handle.read(entry.length)
         return RunRecord.from_dict(json.loads(raw))
 
-    def _load_many(self, entries: List[_IndexEntry]) -> List[RunRecord]:
+    def _load_many(self, entries: List[LineEntry]) -> List[RunRecord]:
         """Load records with one file open per shard, not per record.
 
         Bulk readers (:meth:`iter_records`, :meth:`query`) would
@@ -278,11 +104,11 @@ class RunStore:
         order.  The returned list preserves the order of ``entries``.
         """
         raw: Dict[int, bytes] = {}
-        by_path: Dict[Path, List[_IndexEntry]] = {}
+        by_shard: Dict[str, List[LineEntry]] = {}
         for entry in entries:
-            by_path.setdefault(entry.path, []).append(entry)
-        for path, group in by_path.items():
-            with path.open("rb") as handle:
+            by_shard.setdefault(entry.shard, []).append(entry)
+        for shard, group in by_shard.items():
+            with (self.root / shard).open("rb") as handle:
                 for entry in sorted(group, key=lambda e: e.offset):
                     handle.seek(entry.offset)
                     raw[id(entry)] = handle.read(entry.length)
@@ -290,9 +116,14 @@ class RunStore:
             RunRecord.from_dict(json.loads(raw[id(entry)])) for entry in entries
         ]
 
+    def _winner(self, content_hash: str) -> Optional[LineEntry]:
+        return self._index.winner(content_hash, self._frontier)
+
+    # -- lookups -------------------------------------------------------------
+
     def get(self, content_hash: str) -> RunRecord:
         """The archived record for ``content_hash`` (KeyError when absent)."""
-        entry = self._index.get(content_hash)
+        entry = self._winner(content_hash)
         if entry is None:
             raise KeyError(content_hash)
         return self._load(entry)
@@ -306,14 +137,14 @@ class RunStore:
         """
         entries = []
         for content_hash in content_hashes:
-            entry = self._index.get(content_hash)
+            entry = self._winner(content_hash)
             if entry is None:
                 raise KeyError(content_hash)
             entries.append(entry)
         return self._load_many(entries)
 
     def contains(self, content_hash: str) -> bool:
-        return content_hash in self._index
+        return self._winner(content_hash) is not None
 
     __contains__ = contains
 
@@ -325,7 +156,119 @@ class RunStore:
         need exactly one (or want to report ambiguity clearly) resolve
         it here first instead of picking an arbitrary match.
         """
-        return sorted(h for h in self._index if h.startswith(prefix))
+        return self._index.resolve_prefix(prefix, self._frontier)
+
+    def __len__(self) -> int:
+        return self._index.count(self._frontier)
+
+    def hashes(self) -> List[str]:
+        """All stored content hashes, sorted."""
+        return self._index.hashes(self._frontier)
+
+    def iter_records(self) -> Iterator[RunRecord]:
+        """Every stored record, in content-hash order."""
+        yield from self.query()
+
+    def query(
+        self,
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        ring_size: Optional[int] = None,
+        agent_count: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Iterator[RunRecord]:
+        """Records matching every given filter, in content-hash order.
+
+        Filtering runs on the secondary index; only matching records
+        are parsed from disk.  ``scheduler`` matches the producing
+        spec's canonical scheduler spec string (falling back to the
+        scheduler description for specless records); ``hash_prefix``
+        matches the start of the content hash, so ``repro query --hash
+        ab12`` works like git's abbreviated object names.  ``limit``
+        and ``offset`` paginate the matches — the hash order is stable,
+        so consecutive pages never skip or repeat a record as long as
+        the view doesn't move (use :meth:`RunStore.snapshot` when
+        writers are live).
+        """
+        matched = self._index.winners(
+            self._frontier,
+            algorithm=algorithm,
+            scheduler=scheduler,
+            ring_size=ring_size,
+            agent_count=agent_count,
+            uniform=uniform,
+            hash_prefix=hash_prefix,
+            limit=limit,
+            offset=offset,
+        )
+        # Stream in chunks: hash order is preserved, memory stays
+        # bounded by the chunk, and chunks still amortise file opens.
+        chunk = 1024
+        for begin in range(0, len(matched), chunk):
+            yield from self._load_many(matched[begin:begin + chunk])
+
+    def count(
+        self,
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        ring_size: Optional[int] = None,
+        agent_count: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+    ) -> int:
+        """How many records :meth:`query` would match (no disk reads)."""
+        if all(
+            value is None
+            for value in (
+                algorithm, scheduler, ring_size, agent_count, uniform,
+                hash_prefix,
+            )
+        ):
+            return self._index.count(self._frontier)
+        return len(
+            self._index.winners(
+                self._frontier,
+                algorithm=algorithm,
+                scheduler=scheduler,
+                ring_size=ring_size,
+                agent_count=agent_count,
+                uniform=uniform,
+                hash_prefix=hash_prefix,
+            )
+        )
+
+    def digest(self) -> str:
+        """A stable SHA-256 over the store's *logical* record contents.
+
+        Hashes every record's canonical ``to_dict()`` JSON (which
+        excludes the ``_ts`` write-stamp envelope), sorted by content
+        hash — so two stores hold the same digest exactly when they
+        archived the same set of records, regardless of shard pid
+        names, write order, duplicate appends or wall-clock stamps.
+        This is the equality the chaos harness asserts — a
+        fault-disturbed campaign's store must digest identically to an
+        undisturbed serial run's — and the experiment service's
+        HTTP-vs-CLI identity gate: a sweep submitted over HTTP must
+        digest identically to the same sweep via ``repro psweep``.
+        """
+        hasher = hashlib.sha256()
+        entries = self._index.winners(self._frontier)
+        chunk = 1024
+        for begin in range(0, len(entries), chunk):
+            for record in self._load_many(entries[begin:begin + chunk]):
+                canonical = json.dumps(
+                    record.to_dict(), sort_keys=True, separators=(",", ":")
+                )
+                hasher.update(canonical.encode("utf-8"))
+                hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    # -- satellite archives --------------------------------------------------
 
     @property
     def failures(self) -> "FailureArchive":
@@ -357,86 +300,241 @@ class RunStore:
 
         return CampaignLedger(self.root / "campaign", work_hash)
 
-    def digest(self) -> str:
-        """A stable SHA-256 over the store's *logical* record contents.
 
-        Hashes every record's canonical ``to_dict()`` JSON (which
-        excludes the ``_ts`` write-stamp envelope), sorted by content
-        hash — so two stores hold the same digest exactly when they
-        archived the same set of records, regardless of shard pid
-        names, write order, duplicate appends or wall-clock stamps.
-        This is the equality the chaos harness asserts: a
-        fault-disturbed campaign's store must digest identically to an
-        undisturbed serial run's.
-        """
-        hasher = hashlib.sha256()
-        for content_hash in sorted(self._index):
-            record = self._load(self._index[content_hash])
-            canonical = json.dumps(
-                record.to_dict(), sort_keys=True, separators=(",", ":")
-            )
-            hasher.update(canonical.encode("utf-8"))
-            hasher.update(b"\n")
-        return hasher.hexdigest()
+class StoreSnapshot(_StoreView):
+    """A read-only, frozen view of a :class:`RunStore`.
 
-    def __len__(self) -> int:
-        return len(self._index)
+    Pins the store's visibility frontier at creation time: because
+    shards are append-only and the frontier only ever covers committed
+    whole lines, every answer a snapshot gives is stable no matter how
+    many ``put()``s land concurrently — no locks held, no bytes copied.
+    The snapshot shares its parent handle's index, so it stays valid
+    for the parent's lifetime.
+    """
 
-    def hashes(self) -> List[str]:
-        """All stored content hashes in deterministic scan order."""
-        return sorted(self._index, key=lambda h: self._index[h].order)
-
-    def iter_records(self) -> Iterator[RunRecord]:
-        """Every stored record, in deterministic scan order."""
-        yield from self.query()
-
-    def query(
-        self,
-        *,
-        algorithm: Optional[str] = None,
-        scheduler: Optional[str] = None,
-        ring_size: Optional[int] = None,
-        agent_count: Optional[int] = None,
-        uniform: Optional[bool] = None,
-        hash_prefix: Optional[str] = None,
-    ) -> Iterator[RunRecord]:
-        """Records matching every given filter, in scan order.
-
-        Filtering runs on the in-memory index; only matching records are
-        parsed from disk.  ``scheduler`` matches the producing spec's
-        canonical scheduler spec string (falling back to the scheduler
-        description for specless records); ``hash_prefix`` matches the
-        start of the content hash, so ``repro query --hash ab12`` works
-        like git's abbreviated object names.
-        """
-        matched = []
-        for content_hash in self.hashes():
-            entry = self._index[content_hash]
-            if algorithm is not None and entry.algorithm != algorithm:
-                continue
-            if scheduler is not None and entry.scheduler != scheduler:
-                continue
-            if ring_size is not None and entry.ring_size != ring_size:
-                continue
-            if agent_count is not None and entry.agent_count != agent_count:
-                continue
-            if uniform is not None and entry.uniform != uniform:
-                continue
-            if hash_prefix is not None and not content_hash.startswith(
-                hash_prefix
-            ):
-                continue
-            matched.append(entry)
-        # Stream in chunks: scan order is preserved, memory stays
-        # bounded by the chunk, and chunks still amortise file opens
-        # (consecutive scan-order entries mostly share a shard).
-        chunk = 1024
-        for begin in range(0, len(matched), chunk):
-            yield from self._load_many(matched[begin:begin + chunk])
+    def __init__(self, store: "RunStore") -> None:
+        self.root = store.root
+        self._index = store._index
+        self._frontier = dict(store._frontier)
 
     def describe(self) -> str:
-        shards = len(self._scanned)
         return (
-            f"RunStore({self.root}): {len(self._index)} records "
-            f"in {shards} shard(s)"
+            f"StoreSnapshot({self.root}): {len(self)} records "
+            f"in {len(self._frontier)} shard(s)"
+        )
+
+
+class RunStore(_StoreView):
+    """A content-addressed, append-only archive of experiment runs.
+
+    ``RunStore(directory)`` opens (creating if needed) a store rooted at
+    ``directory``.  The API is deliberately small:
+
+    * :meth:`put` — archive a record (no-op on duplicate hashes),
+    * :meth:`get` / :meth:`contains` / ``hash in store`` — lookup,
+    * :meth:`query` — filtered, paginated iteration without full
+      parsing,
+    * :meth:`iter_records` — everything, in content-hash order,
+    * :meth:`refresh` — pick up records other processes appended since
+      the last scan,
+    * :meth:`snapshot` — a frozen read-only view for concurrent
+      queries.
+
+    ``index`` selects the secondary-index backend: ``"sqlite"`` (the
+    default) persists ``<store>/index.sqlite`` so reopening is O(new
+    bytes); ``"memory"`` is the historical per-handle full scan, kept
+    as the differential oracle (:meth:`verify_index`) and benchmark
+    baseline.  Both are derived data — deleting ``index.sqlite`` never
+    loses a record.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        create: bool = True,
+        index: str = "sqlite",
+    ) -> None:
+        self.root = Path(root)
+        if not self.root.exists():
+            if not create:
+                raise ConfigurationError(f"run store {self.root} does not exist")
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise ConfigurationError(
+                f"run store path {self.root} is not a directory"
+            )
+        if index == "sqlite":
+            self._index = SqliteLineIndex(self.root)
+        elif index == "memory":
+            self._index = MemoryLineIndex()
+        else:
+            raise ConfigurationError(
+                f"unknown store index backend {index!r} "
+                f"(expected 'sqlite' or 'memory')"
+            )
+        self.index_mode = index
+        self._frontier: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.refresh()
+
+    # -- scanning ------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Catch up with other writers; return how many records appeared.
+
+        Tails only the shard bytes appended since the index last
+        looked (O(new bytes), not O(store)) and advances this handle's
+        visibility frontier over them.
+        """
+        with self._lock:
+            before = self._index.count(self._frontier)
+            self._index.tail(self.root)
+            self._frontier = self._index.frontier()
+            return self._index.count(self._frontier) - before
+
+    def snapshot(self) -> StoreSnapshot:
+        """Freeze the current view into a read-only :class:`StoreSnapshot`."""
+        return StoreSnapshot(self)
+
+    def verify_index(self) -> int:
+        """Differentially validate the index against a full JSONL scan.
+
+        Re-derives an independent in-memory index from the shard bytes
+        and checks that both agree on the set of visible hashes and on
+        the winning line of every hash (equal-stamp winners may differ
+        in location when racing writers duplicated a record — then the
+        payloads themselves must be identical).  Returns the number of
+        hashes checked; raises :class:`ConfigurationError` on the first
+        disagreement.
+        """
+        oracle = MemoryLineIndex()
+        oracle.tail(self.root)
+        with self._lock:
+            self._index.tail(self.root)
+        mine = {e.content_hash: e for e in self._index.winners(None)}
+        theirs = {e.content_hash: e for e in oracle.winners(None)}
+        if set(mine) != set(theirs):
+            missing = set(theirs) - set(mine)
+            extra = set(mine) - set(theirs)
+            raise ConfigurationError(
+                f"store index disagrees with JSONL scan: "
+                f"{len(missing)} hash(es) missing from the index, "
+                f"{len(extra)} extra"
+            )
+        for content_hash, entry in mine.items():
+            other = theirs[content_hash]
+            if entry.stamp != other.stamp:
+                raise ConfigurationError(
+                    f"store index winner for {content_hash[:12]} has stamp "
+                    f"{entry.stamp}, JSONL scan says {other.stamp}"
+                )
+            if (entry.shard, entry.offset) != (other.shard, other.offset):
+                if self._load(entry).to_dict() != self._load(other).to_dict():
+                    raise ConfigurationError(
+                        f"store index winner for {content_hash[:12]} at "
+                        f"{entry.shard}:{entry.offset} differs from JSONL "
+                        f"scan winner at {other.shard}:{other.offset}"
+                    )
+        return len(mine)
+
+    def rebuild_index(self) -> int:
+        """Drop the derived index and re-derive it from the shard files."""
+        with self._lock:
+            self._index.rebuild(self.root)
+            self._frontier = self._index.frontier()
+            return self._index.count(self._frontier)
+
+    def close(self) -> None:
+        """Release the index backend (open snapshots become invalid)."""
+        self._index.close()
+
+    # -- writing -------------------------------------------------------------
+
+    def _own_shard(self) -> Path:
+        return self.root / f"shard-{os.getpid()}.jsonl"
+
+    def put(self, record: RunRecord, *, replace: bool = False) -> bool:
+        """Archive ``record``; return False when the hash is already stored.
+
+        The write is one ``O_APPEND`` call to this process's own shard,
+        so concurrent writers (other pids, other shards) can never
+        interleave with it.  ``replace=True`` appends anyway and the
+        newer copy wins lookups (the old line stays on disk — the store
+        is append-only).  The secondary index is updated in the same
+        shard-locked section, transactionally for the SQLite backend.
+        """
+        if not isinstance(record, RunRecord):
+            raise ConfigurationError(
+                f"put() expects a RunRecord, got {type(record).__name__}"
+            )
+        path = self._own_shard()
+        shard = path.name
+        with self._lock, _shard_lock(path):
+            if path.exists():
+                # Index anything appended to our shard since the last
+                # scan (e.g. by another same-pid RunStore handle, or a
+                # dead predecessor that reused this pid) before deciding
+                # about duplicates — never silently skip committed bytes.
+                self._index.tail(self.root, only=shard)
+                frontier = dict(self._frontier)
+                frontier[shard] = max(
+                    frontier.get(shard, 0),
+                    self._index.frontier().get(shard, 0),
+                )
+                self._frontier = frontier
+            if not replace and self._winner(record.content_hash) is not None:
+                return False
+            payload = record.to_dict()
+            # Envelope-only write stamp: orders duplicate hashes across
+            # shards at lookup time.  RunRecord.from_dict ignores it, so
+            # loaded records compare equal to the ones that were put.
+            # A replacement must outrank whatever it replaces even if
+            # the wall clock stepped backwards (NTP, skewed peers), so
+            # never stamp at or below the record being superseded —
+            # checked against the *global* winner, not just this
+            # handle's view, so replacements survive reopen.
+            existing = self._index.winner(record.content_hash, None)
+            stamp = time.time_ns()
+            if existing is not None and stamp <= existing.stamp:
+                stamp = existing.stamp + 1
+            payload["_ts"] = stamp
+            line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            encoded = line.encode("utf-8") + b"\n"
+            gap_start = self._index.frontier().get(shard, 0)
+            fd = os.open(
+                path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            try:
+                offset = os.fstat(fd).st_size
+                if offset > gap_start:
+                    # Unscanned bytes remain: a torn tail the tail scan
+                    # above stopped at, or an append that raced in
+                    # since.  Start our record on a fresh line either
+                    # way.
+                    os.write(fd, b"\n")
+                    offset += 1
+                os.write(fd, encoded)
+            finally:
+                os.close(fd)
+            # Only advance the *index* frontier when our line is
+            # contiguous with it; over a gap, leave it behind so the
+            # next tail re-walks the gap — it is newline-terminated
+            # now, so valid records in it get indexed and garbage is
+            # counted and skipped; re-indexing our own line is
+            # idempotent (unique shard+offset).
+            end = offset + len(encoded)
+            advance = end if offset == gap_start else None
+            self._index.add_line(
+                shard, offset, len(encoded) - 1, payload, advance_to=advance
+            )
+            frontier = dict(self._frontier)
+            frontier[shard] = max(frontier.get(shard, 0), end)
+            self._frontier = frontier
+            return True
+
+    def describe(self) -> str:
+        return (
+            f"RunStore({self.root}): {len(self)} records "
+            f"in {len(self._frontier)} shard(s)"
         )

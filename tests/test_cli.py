@@ -411,3 +411,97 @@ class TestQueryHashPrefix:
         assert code == 0
         assert "ambiguous" not in output
         assert "1 of 2 archived runs matched" in output
+
+
+class TestQueryPagination:
+    @staticmethod
+    def _seed_store(tmp_path, count=5):
+        from repro.experiments.runner import run_experiment
+        from repro.spec import ExperimentSpec, PlacementSpec
+        from repro.store import RunRecord, RunStore
+
+        store = RunStore(tmp_path / "store")
+        spec = ExperimentSpec(
+            algorithm="known_k_full",
+            placement=PlacementSpec(
+                kind="random", ring_size=8, agent_count=2, seed=0
+            ),
+        )
+        payload = run_experiment(spec).to_record(spec).to_dict()
+        for index in range(count):  # hashes 0000…, 1000…, … (< 10 of them)
+            record = dict(
+                payload, content_hash=f"{index:x}".ljust(64, "0")
+            )
+            store.put(RunRecord.from_dict(record))
+        return store
+
+    def test_limit_and_offset_page_in_hash_order(self, capsys, tmp_path):
+        store = self._seed_store(tmp_path)
+        code = main(
+            ["query", "--store", str(store.root), "--limit", "2",
+             "--offset", "2"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        # Hashes 2 and 3 of five, in content-hash order.
+        assert "2".ljust(16, "0") in output and "3".ljust(16, "0") in output
+        assert "1".ljust(16, "0") not in output
+        assert "4".ljust(16, "0") not in output
+        assert "page: 2 of 5 matched runs (offset 2, 5 archived)" in output
+
+    def test_pages_tile_the_json_listing(self, capsys, tmp_path):
+        import json as json_module
+
+        store = self._seed_store(tmp_path)
+        seen = []
+        for offset in (0, 2, 4):
+            assert main(
+                ["query", "--store", str(store.root), "--limit", "2",
+                 "--offset", str(offset), "--json"]
+            ) == 0
+            seen += [
+                record["content_hash"]
+                for record in json_module.loads(capsys.readouterr().out)
+            ]
+        assert seen == store.hashes()  # no gaps, no repeats
+
+    def test_bad_pagination_arguments_are_errors(self, capsys, tmp_path):
+        store = self._seed_store(tmp_path, count=1)
+        for flags in (["--limit", "0"], ["--offset", "-1"]):
+            code = main(["query", "--store", str(store.root), *flags])
+            captured = capsys.readouterr()
+            assert code != 0
+            assert "must be >=" in captured.err
+
+    def test_unpaginated_output_keeps_the_legacy_tail(self, capsys, tmp_path):
+        store = self._seed_store(tmp_path, count=3)
+        assert main(["query", "--store", str(store.root)]) == 0
+        output = capsys.readouterr().out
+        assert "3 of 3 archived runs matched" in output
+        assert "page:" not in output
+
+    def test_failures_listing(self, capsys, tmp_path):
+        import json as json_module
+
+        store = self._seed_store(tmp_path, count=1)
+        store.failures.put(
+            "ee" * 32, {"content_hash": "ee" * 32, "kind": "assertion"}
+        )
+        assert main(
+            ["query", "--store", str(store.root), "--failures"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ee" * 8 in output
+        assert "assertion" in output
+        assert main(
+            ["query", "--store", str(store.root), "--failures", "--json"]
+        ) == 0
+        listing = json_module.loads(capsys.readouterr().out)
+        assert [item["content_hash"] for item in listing] == ["ee" * 32]
+
+    def test_empty_quarantine_listing(self, capsys, tmp_path):
+        store = self._seed_store(tmp_path, count=1)
+        assert main(
+            ["query", "--store", str(store.root), "--quarantine"]
+        ) == 0
+        assert "0" in capsys.readouterr().out
