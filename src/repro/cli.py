@@ -494,6 +494,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print exploration counters to stderr while searching",
     )
+    mc_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "process-parallel exploration: placements fan across a pool "
+            "on a grid, a single configuration uses the wave-synchronous "
+            "frontier driver (results are identical to --jobs 1)"
+        ),
+    )
+    mc_parser.add_argument(
+        "--no-por", action="store_true",
+        help=(
+            "disable the sleep-set partial-order reduction (full "
+            "expansion; verdicts are identical, transitions roughly double)"
+        ),
+    )
+    mc_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable results document instead of tables",
+    )
+    mc_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "spill the frontier + visited memo to DIR/mc/<check-hash>/ "
+            "every wave so a killed check can be resumed"
+        ),
+    )
+    mc_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed --store run from its last committed wave",
+    )
 
     fuzz_parser = commands.add_parser(
         "fuzz",
@@ -1028,8 +1058,18 @@ def _command_timeline(args: argparse.Namespace) -> int:
 
 
 def _command_mc(args: argparse.Namespace) -> int:
-    from repro.mc import all_placements, check_interleavings
+    from repro.mc import (
+        all_placements,
+        check_frontier,
+        check_interleavings,
+        check_placements_pool,
+    )
 
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.store:
+        raise ReproError("--resume needs --store (nothing spilled to resume from)")
+    por = not args.no_por
     if args.spec:
         experiment = ExperimentSpec.load(args.spec)
         algorithm = experiment.algorithm
@@ -1046,36 +1086,93 @@ def _command_mc(args: argparse.Namespace) -> int:
                 f"k must be in [1, n]: got k={args.k}, n={args.n}"
             )
         placements = list(all_placements(args.n, args.k))
-        scope = f"all {len(placements)} placements (one home fixed at node 0)"
+        scope = (
+            f"all {len(placements)} rotation-distinct placements "
+            "(one home fixed at node 0)"
+        )
     get_algorithm(algorithm)  # fail fast with the registry's error message
     n = placements[0].ring_size
     k = placements[0].agent_count
     progress = None
-    if args.progress:
+    if args.progress and not args.json:
         progress = lambda stats: print(  # noqa: E731 - tiny local callback
             f"  ... {stats.describe()}", file=sys.stderr
         )
-    print(f"model checking {algorithm} on n={n} k={k}: {scope}")
-    rows = []
-    violations = []
-    complete = True
-    for placement in placements:
-        result = check_interleavings(
-            algorithm,
-            placement,
-            depth_limit=args.depth_limit,
-            max_states=args.max_states,
-            stop_at_first=not args.keep_going,
-            progress=progress,
+    limits = {
+        "depth_limit": args.depth_limit,
+        "max_states": args.max_states,
+        "stop_at_first": not args.keep_going,
+        "por": por,
+    }
+    if not args.json:
+        print(f"model checking {algorithm} on n={n} k={k}: {scope}")
+    if args.store is not None:
+        # Spilled (and optionally parallel) frontier exploration; one
+        # resumable journal per placement, keyed by check-spec hash.
+        results = [
+            check_frontier(
+                algorithm,
+                placement,
+                jobs=args.jobs,
+                store_root=args.store,
+                resume=args.resume,
+                progress=progress,
+                **limits,
+            )
+            for placement in placements
+        ]
+    elif args.jobs > 1 and len(placements) == 1:
+        results = [
+            check_frontier(
+                algorithm, placements[0], jobs=args.jobs,
+                progress=progress, **limits,
+            )
+        ]
+    elif args.jobs > 1:
+        results = check_placements_pool(
+            algorithm, placements, jobs=args.jobs, **limits
         )
-        complete = complete and result.complete
-        violations.extend(result.violations)
+    else:
+        results = [
+            check_interleavings(algorithm, placement, progress=progress, **limits)
+            for placement in placements
+        ]
+
+    violations = [v for result in results for v in result.violations]
+    complete = all(result.complete for result in results)
+    if args.json:
+        document = {
+            "algorithm": algorithm,
+            "n": n,
+            "k": k,
+            "por": por,
+            "jobs": args.jobs,
+            "ok": all(result.ok for result in results),
+            "complete": complete,
+            "totals": {
+                "placements": len(results),
+                "states": sum(r.explored for r in results),
+                "transitions": sum(r.transitions for r in results),
+                "deduped": sum(r.deduped for r in results),
+                "por_skipped": sum(r.por_skipped for r in results),
+                "terminals": sum(r.terminals for r in results),
+                "max_depth": max(r.max_depth for r in results),
+                "memo_bytes": sum(r.memo_bytes for r in results),
+            },
+            "results": [result.to_dict() for result in results],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 1 if (violations or not complete) else 0
+
+    rows = []
+    for placement, result in zip(placements, results):
         rows.append(
             {
                 "D": "-".join(str(d) for d in placement.distances),
                 "states": result.explored,
                 "transitions": result.transitions,
                 "deduped": result.deduped,
+                "por_skipped": result.por_skipped,
                 "terminal": result.terminals,
                 "max_depth": result.max_depth,
                 "exhausted": result.complete,
@@ -1086,9 +1183,11 @@ def _command_mc(args: argparse.Namespace) -> int:
     total_states = sum(row["states"] for row in rows)
     total_transitions = sum(row["transitions"] for row in rows)
     total_deduped = sum(row["deduped"] for row in rows)
+    total_skipped = sum(row["por_skipped"] for row in rows)
     print(
         f"\ntotal: {total_states} states, {total_transitions} transitions, "
-        f"{total_deduped} deduped across {len(rows)} configurations"
+        f"{total_deduped} deduped, {total_skipped} por-skipped "
+        f"across {len(rows)} configurations"
     )
     if violations:
         print(f"\n{len(violations)} VIOLATION(S):")

@@ -12,9 +12,17 @@ every terminal state, and emitting any violating path as a replayable
 schedule.
 
 Entry points: :func:`check_interleavings` (one placement),
-:func:`exhaust_placements` (all placements of an ``(n, k)``),
-:func:`replay_counterexample` (deterministic reproduction), and the
-``repro mc`` CLI command.
+:func:`exhaust_placements` (all placements of an ``(n, k)``, optionally
+fanned across a process pool), :func:`check_frontier` (wave-synchronous
+parallel exploration with an optional disk-spilled, resumable
+frontier), :func:`replay_counterexample` (deterministic reproduction),
+and the ``repro mc`` CLI command.
+
+Exploration applies the sleep-set partial-order reduction of
+:mod:`repro.mc.por` by default: redundant interleavings of commuting
+agent actions (distinct action nodes) are pruned without losing any
+reachable state, so verdicts and terminal sets match full expansion
+while the executed-transition count roughly halves.
 
 The property oracles are shared beyond the exhaustive search:
 :class:`~repro.mc.oracle.PropertyOracle` bundles one instance's suites
@@ -33,12 +41,15 @@ from repro.mc.checker import (
     exhaust_placements,
     replay_counterexample,
 )
+from repro.mc.frontier import FrontierItem, FrontierSpill, check_hash, check_spec
 from repro.mc.oracle import (
     PropertyOracle,
     ReplayOutcome,
     Violation,
     drive_schedule,
 )
+from repro.mc.parallel import check_frontier, check_placements_pool
+from repro.mc.por import action_node, conflict, sleep_after
 from repro.mc.properties import (
     EnabledSetConsistency,
     FifoLinkIntegrity,
@@ -61,11 +72,20 @@ __all__ = [
     "PropertyOracle",
     "ReplayOutcome",
     "Violation",
+    "FrontierItem",
+    "FrontierSpill",
+    "action_node",
     "all_placements",
+    "check_frontier",
+    "check_hash",
     "check_interleavings",
+    "check_placements_pool",
+    "check_spec",
+    "conflict",
     "drive_schedule",
     "exhaust_placements",
     "replay_counterexample",
+    "sleep_after",
     "resolve_terminal",
     "shrink_schedule",
     "SafetyProperty",

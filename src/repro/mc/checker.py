@@ -37,6 +37,7 @@ from typing import (
     Tuple,
 )
 
+from repro.mc.por import agents_of_slots, sleep_after, slots_of_agents
 from repro.mc.properties import (
     SafetyProperty,
     TerminalProperty,
@@ -96,7 +97,14 @@ class Counterexample:
 
 @dataclass(frozen=True)
 class MCResult:
-    """Outcome of one exhaustive check of one initial configuration."""
+    """Outcome of one exhaustive check of one initial configuration.
+
+    ``por_skipped`` counts enabled transitions the sleep-set reduction
+    proved redundant and never executed; ``memo_bytes`` approximates the
+    peak visited-memo footprint; ``terminal_keys`` are the canonical
+    keys (hex) of every quiescent state reached — the differential POR
+    gate compares them against full expansion.
+    """
 
     algorithm: str
     placement: Placement
@@ -107,11 +115,21 @@ class MCResult:
     max_depth: int
     complete: bool
     violations: Tuple[Counterexample, ...]
+    por_skipped: int = 0
+    memo_bytes: int = 0
+    terminal_keys: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
         """True when the schedule space was exhausted with no violation."""
         return self.complete and not self.violations
+
+    @property
+    def verdict(self) -> str:
+        """``ok`` / ``violation`` / ``truncated`` — the one-word outcome."""
+        if self.violations:
+            return "violation"
+        return "ok" if self.complete else "truncated"
 
     def describe(self) -> str:
         status = "EXHAUSTED" if self.complete else "TRUNCATED"
@@ -119,9 +137,40 @@ class MCResult:
         return (
             f"{status} {self.algorithm} {self.placement.describe()}: "
             f"{self.explored} states, {self.transitions} transitions, "
-            f"{self.deduped} deduped, {self.terminals} terminal, "
+            f"{self.deduped} deduped, {self.por_skipped} por-skipped, "
+            f"{self.terminals} terminal, "
             f"max depth {self.max_depth} -> {verdict}"
         )
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable record (``repro mc --json``, CI artifacts)."""
+        return {
+            "algorithm": self.algorithm,
+            "placement": {
+                "ring_size": self.placement.ring_size,
+                "homes": list(self.placement.homes),
+            },
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "complete": self.complete,
+            "explored": self.explored,
+            "transitions": self.transitions,
+            "deduped": self.deduped,
+            "por_skipped": self.por_skipped,
+            "terminals": self.terminals,
+            "max_depth": self.max_depth,
+            "memo_bytes": self.memo_bytes,
+            "terminal_keys": list(self.terminal_keys),
+            "violations": [
+                {
+                    "kind": violation.kind,
+                    "property": violation.property_name,
+                    "message": violation.message,
+                    "schedule": list(violation.schedule),
+                }
+                for violation in self.violations
+            ],
+        }
 
 
 def _cycle_message(depth: int) -> str:
@@ -161,6 +210,7 @@ def check_interleavings(
     depth_limit: Optional[int] = None,
     max_states: Optional[int] = None,
     stop_at_first: bool = True,
+    por: bool = True,
     progress: Optional[Callable[[SearchStats], None]] = None,
     progress_every: int = 5000,
 ) -> MCResult:
@@ -176,6 +226,13 @@ def check_interleavings(
     (the result is then a bounded check, not a proof).  With
     ``stop_at_first=False`` the search records every violation but never
     explores past a violating state.
+
+    ``por=True`` (the default) applies the sleep-set partial-order
+    reduction of :mod:`repro.mc.por`: redundant interleavings of
+    commuting agent actions are pruned *without* losing any reachable
+    state, so verdicts, explored-state counts and terminal-state sets
+    are identical to full expansion while the executed-transition count
+    drops.  ``por=False`` restores plain full expansion.
     """
     n, k = placement.ring_size, placement.agent_count
     safety_props: Tuple[SafetyProperty, ...] = tuple(
@@ -188,10 +245,13 @@ def check_interleavings(
     )
 
     root = _make_engine(algorithm, placement, factory)
-    root_key = root.snapshot().canonical()
+    root_key = root.snapshot().canonical_key()
     stats = SearchStats(explored=1)
-    visited = {root_key}
+    # visited maps canonical key -> sleep slots the state was (last)
+    # explored under; an empty set means it was fully expanded.
+    visited: dict = {root_key: frozenset()}
     on_path = {root_key}
+    terminal_keys: List[str] = []
     violations: List[Counterexample] = []
     complete = True
 
@@ -224,6 +284,12 @@ def check_interleavings(
             continue
         agent_id = frame.choices.pop()
         child = frame.take_engine()
+        # Sleep inheritance is decided against the *source* state's agent
+        # locations, so compute it before the child engine steps.
+        if por and frame.slept:
+            child_sleep = sleep_after(child, frame.slept, agent_id, n)
+        else:
+            child_sleep = set()
         pre = capture_pre_state(child)
         child.step(agent_id)
         schedule = frame.schedule + (agent_id,)
@@ -246,7 +312,7 @@ def check_interleavings(
                 break
             continue  # never explore past a violating state
 
-        key = snapshot.canonical()
+        key = snapshot.canonical_key()
         if key in on_path:
             record(
                 "cycle",
@@ -257,14 +323,43 @@ def check_interleavings(
             if stop_at_first:
                 break
             continue
-        if key in visited:
+        stored = visited.get(key)
+        if stored is not None:
+            sleep_slots = slots_of_agents(snapshot, child_sleep)
+            if stored <= sleep_slots:
+                # Everything the first visit slept through is slept here
+                # too — the revisit adds nothing.  Pure memo hit.
+                stats.deduped += 1
+                frame.slept.add(agent_id)
+                continue
+            # Revisit under a smaller sleep set: transitions the stored
+            # visit slept through are no longer covered on this path.
+            # Re-expand exactly the difference (stored sets shrink
+            # monotonically, so this terminates).
+            reopen = stored - sleep_slots
+            visited[key] = stored & sleep_slots
             stats.deduped += 1
+            reopen_agents = sorted(agents_of_slots(snapshot, reopen))
+            enabled = child.enabled_agents()
+            stack.append(
+                Frame(
+                    engine=child,
+                    key=key,
+                    schedule=schedule,
+                    choices=list(reversed(reopen_agents)),
+                    slept=set(enabled) - set(reopen_agents),
+                )
+            )
+            on_path.add(key)
+            frame.slept.add(agent_id)
             continue
-        visited.add(key)
+        sleep_slots = slots_of_agents(snapshot, child_sleep)
+        visited[key] = sleep_slots
         stats.explored += 1
 
         if child.quiescent:
             stats.terminals += 1
+            terminal_keys.append(key.hex())
             for prop in terminal_props:
                 message = prop.check(child, snapshot)
                 if message is not None:
@@ -273,6 +368,7 @@ def check_interleavings(
                     break
             if broken and stop_at_first:
                 break
+            frame.slept.add(agent_id)
             continue
         if depth_limit is not None and len(schedule) >= depth_limit:
             stats.truncated += 1
@@ -282,19 +378,28 @@ def check_interleavings(
             complete = False
             break
 
+        enabled = child.enabled_agents()
+        if child_sleep:
+            choices = [a for a in enabled if a not in child_sleep]
+            stats.por_skipped += len(enabled) - len(choices)
+        else:
+            choices = list(enabled)
         stack.append(
             Frame(
                 engine=child,
                 key=key,
                 schedule=schedule,
-                choices=list(reversed(child.enabled_agents())),
+                choices=list(reversed(choices)),
+                slept=set(child_sleep),
             )
         )
         on_path.add(key)
+        frame.slept.add(agent_id)
 
     if stop_at_first and violations:
         complete = False  # the search stopped early by design
 
+    stats.memo_bytes = sum(16 + 8 * len(slots) for slots in visited.values())
     return MCResult(
         algorithm=algorithm,
         placement=placement,
@@ -305,30 +410,67 @@ def check_interleavings(
         max_depth=stats.max_depth,
         complete=complete,
         violations=tuple(violations),
+        por_skipped=stats.por_skipped,
+        memo_bytes=stats.memo_bytes,
+        terminal_keys=tuple(sorted(terminal_keys)),
     )
 
 
-def all_placements(ring_size: int, agent_count: int) -> Iterator[Placement]:
+def all_placements(
+    ring_size: int, agent_count: int, *, dedupe_rotations: bool = True
+) -> Iterator[Placement]:
     """Every initial configuration with one home fixed at node 0.
 
     The ring is anonymous, so fixing one home at node 0 enumerates all
-    configurations up to rotation — the same canonicalisation the
-    exhaustive unit tests use.
+    configurations up to rotation *of the node labels*.  Two placements
+    whose distance sequences are rotations of each other are still the
+    same anonymous configuration, though — agent ids carry no meaning —
+    so with ``dedupe_rotations`` (the default) only one representative
+    per necklace class is yielded: the verification grid never
+    re-verifies a symmetric initial configuration.  Pass
+    ``dedupe_rotations=False`` to recover the raw ``C(n-1, k-1)``
+    enumeration.
     """
+    seen = set()
     for others in itertools.combinations(range(1, ring_size), agent_count - 1):
-        yield Placement(ring_size=ring_size, homes=(0,) + others)
+        placement = Placement(ring_size=ring_size, homes=(0,) + others)
+        if dedupe_rotations:
+            distances = placement.distances
+            necklace = min(
+                distances[i:] + distances[:i] for i in range(len(distances))
+            )
+            if necklace in seen:
+                continue
+            seen.add(necklace)
+        yield placement
 
 
 def exhaust_placements(
     algorithm: str,
     ring_size: int,
     agent_count: int,
+    *,
+    dedupe_rotations: bool = True,
+    jobs: int = 1,
     **kwargs,
 ) -> List[MCResult]:
-    """Run :func:`check_interleavings` on every placement of ``(n, k)``."""
+    """Run :func:`check_interleavings` on every placement of ``(n, k)``.
+
+    ``jobs > 1`` fans whole placements across a process pool (results
+    keep placement order, so the output is identical to the serial run);
+    it requires a registered ``algorithm`` name — ``factory`` callables
+    and ``progress`` hooks do not cross process boundaries.
+    """
+    placements = list(
+        all_placements(ring_size, agent_count, dedupe_rotations=dedupe_rotations)
+    )
+    if jobs > 1:
+        from repro.mc.parallel import check_placements_pool
+
+        return check_placements_pool(algorithm, placements, jobs=jobs, **kwargs)
     return [
         check_interleavings(algorithm, placement, **kwargs)
-        for placement in all_placements(ring_size, agent_count)
+        for placement in placements
     ]
 
 
@@ -357,7 +499,7 @@ def replay_counterexample(
     )
     engine = _make_engine(counterexample.algorithm, placement, factory)
     messages: List[str] = []
-    path_keys = {engine.snapshot().canonical()}
+    path_keys = {engine.snapshot().canonical_key()}
     for agent_id in counterexample.schedule:
         pre = capture_pre_state(engine)
         engine.step(agent_id)
@@ -366,7 +508,7 @@ def replay_counterexample(
             message = prop.check(pre, engine, snapshot, agent_id)
             if message is not None:
                 messages.append(message)
-        path_keys.add(snapshot.canonical())
+        path_keys.add(snapshot.canonical_key())
     if counterexample.kind == "cycle":
         # A livelock schedule must land on a state it already visited:
         # the set of distinct canonical states along the path is then

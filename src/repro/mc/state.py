@@ -18,7 +18,7 @@ the small value objects that exploration threads through:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple, Union
 
 from repro.sim.engine import Engine
 
@@ -57,7 +57,11 @@ class SearchStats:
       canonical state (the memoisation hit count),
     * ``terminals`` — quiescent states reached (each checked once),
     * ``max_depth`` — longest schedule prefix explored,
-    * ``truncated`` — states left unexpanded by ``depth_limit``.
+    * ``truncated`` — states left unexpanded by ``depth_limit``,
+    * ``por_skipped`` — enabled transitions pruned by the sleep-set
+      partial-order reduction (redundant interleavings never executed),
+    * ``memo_bytes`` — approximate visited-memo footprint: 16-byte
+      blake2b keys plus the stored canonical sleep slots.
     """
 
     explored: int = 0
@@ -66,12 +70,14 @@ class SearchStats:
     terminals: int = 0
     max_depth: int = 0
     truncated: int = 0
+    por_skipped: int = 0
+    memo_bytes: int = 0
 
     def describe(self) -> str:
         return (
             f"{self.explored} states, {self.transitions} transitions, "
-            f"{self.deduped} deduped, {self.terminals} terminal, "
-            f"max depth {self.max_depth}"
+            f"{self.deduped} deduped, {self.por_skipped} por-skipped, "
+            f"{self.terminals} terminal, max depth {self.max_depth}"
         )
 
 
@@ -82,15 +88,20 @@ class Frame:
     ``engine`` is a live engine *at* this state.  It is consumed (moved
     into the child instead of forked) when the last untried choice is
     taken — the copy-on-branch optimisation that saves one fork per
-    fully-expanded state.  ``key`` is the state's canonical form (used
-    to maintain the on-path set for cycle detection) and ``schedule``
-    the activation prefix that first reached it.
+    fully-expanded state.  ``key`` is the state's canonical key (packed
+    blake2b digest, used to maintain the on-path set for cycle
+    detection) and ``schedule`` the activation prefix that first reached
+    it.  ``slept`` is the sleep set of the partial-order reduction:
+    agents (by concrete id) whose transition from this state is already
+    covered elsewhere — inherited sleepers plus the siblings whose
+    subtrees completed before the current choice.
     """
 
     engine: Optional[Engine]
-    key: Tuple[object, ...]
+    key: Union[bytes, Tuple[object, ...]]
     schedule: Tuple[int, ...]
     choices: List[int] = field(default_factory=list)
+    slept: Set[int] = field(default_factory=set)
 
     def take_engine(self) -> Engine:
         """Fork the frame's engine, or move it out on the last choice."""

@@ -27,10 +27,67 @@ model checker's visited-state memo needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Mapping, Optional, Tuple
 
-__all__ = ["Configuration", "LocalConfiguration"]
+__all__ = [
+    "Configuration",
+    "LocalConfiguration",
+    "PACKED_ENCODING_VERSION",
+    "pack_value",
+]
+
+#: Version tag baked into every packed encoding.  Bump it whenever the
+#: byte layout changes so spilled model-checker frontiers keyed on the
+#: encoding can never be resumed against an incompatible format.
+PACKED_ENCODING_VERSION = "MC1"
+
+
+def pack_value(value: object, out: bytearray) -> None:
+    """Append a deterministic, injective byte encoding of ``value``.
+
+    Every encoded value is *self-delimiting* (type tag + terminator or
+    length prefix), so concatenations parse unambiguously — two distinct
+    values, or two distinct sequences of values, never share a byte
+    string.  Covers the value types agent fingerprints use (``None``,
+    bools, ints, strings, bytes, tuples/lists, frozen dataclasses) and
+    falls back to tagged ``repr`` for anything exotic, mirroring the
+    guarantees :meth:`Configuration.canonical` relies on.
+    """
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        out += b"I%d;" % value
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"S%d:" % len(raw)
+        out += raw
+    elif isinstance(value, bytes):
+        out += b"B%d:" % len(value)
+        out += value
+    elif isinstance(value, (tuple, list)):
+        out += b"(%d:" % len(value)
+        for item in value:
+            pack_value(item, out)
+        out += b")"
+    elif is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__.encode("utf-8")
+        out += b"D%d:" % len(name)
+        out += name
+        dataclass_fields = fields(value)
+        out += b"(%d:" % len(dataclass_fields)
+        for f in dataclass_fields:
+            pack_value(getattr(value, f.name), out)
+        out += b")"
+    else:
+        raw = repr(value).encode("utf-8")
+        out += b"R%d:" % len(raw)
+        out += raw
 
 
 @dataclass(frozen=True)
@@ -84,6 +141,9 @@ class Configuration:
     _canonical: Optional[Tuple[object, ...]] = field(
         default=None, init=False, repr=False
     )
+    _packed: Optional[bytes] = field(default=None, init=False, repr=False)
+    _slots: Optional[Tuple[int, ...]] = field(default=None, init=False, repr=False)
+    _key: Optional[bytes] = field(default=None, init=False, repr=False)
 
     # ------------------------------------------------------------------
     # Canonical form, equality and hashing
@@ -134,6 +194,91 @@ class Configuration:
         canonical = (size,) + tuple(nodes[best:] + nodes[:best])
         object.__setattr__(self, "_canonical", canonical)
         return canonical
+
+    # ------------------------------------------------------------------
+    # Packed canonical encoding (model-checker memo key)
+    # ------------------------------------------------------------------
+
+    def packed_layout(self) -> Tuple[bytes, Tuple[int, ...]]:
+        """Return ``(packed, slot_to_agent)`` — the compact canonical form.
+
+        ``packed`` is a deterministic byte string invariant under ring
+        rotation and agent relabelling: per node (starting from the
+        lexicographically least rotation of the byte form) it encodes the
+        token count, the staying-agent payloads sorted by their encoded
+        bytes, and the queued payloads head first, every piece
+        self-delimiting via :func:`pack_value`.  It induces exactly the
+        same state partition as :meth:`canonical` — both are injective
+        per-node encodings minimised over the same rotation orbit — but
+        costs a fraction of the memory of the ``repr``-tuple form.
+
+        ``slot_to_agent`` maps *canonical agent slots* (positions in the
+        packed traversal order: per canonical node, staying agents in
+        their sorted order, then queued agents head first) back to the
+        snapshot's concrete agent ids.  The partial-order reducer stores
+        sleep sets in slot coordinates so they survive the relabelling
+        quotient; ties between identical payloads are broken by agent id,
+        which is sound because tied agents are interchangeable under a
+        state automorphism.
+        """
+        if self._packed is not None:
+            assert self._slots is not None
+            return self._packed, self._slots
+        payload_bytes = {}
+        for agent_id in self.agent_states:
+            buf = bytearray()
+            pack_value(self._agent_payload(agent_id), buf)
+            payload_bytes[agent_id] = bytes(buf)
+        blocks = []
+        node_slots = []
+        for node in range(self.ring_size):
+            staying_ids = sorted(
+                self.staying.get(node, ()),
+                key=lambda agent_id: (payload_bytes[agent_id], agent_id),
+            )
+            queued_ids = tuple(self.queues.get(node, ()))
+            block = bytearray()
+            block += b"I%d;" % self.tokens[node]
+            block += b"P%d:" % len(staying_ids)
+            for agent_id in staying_ids:
+                block += payload_bytes[agent_id]
+            block += b"Q%d:" % len(queued_ids)
+            for agent_id in queued_ids:
+                block += payload_bytes[agent_id]
+            blocks.append(bytes(block))
+            node_slots.append(tuple(staying_ids) + queued_ids)
+        size = self.ring_size
+        best = min(range(size), key=lambda r: blocks[r:] + blocks[:r])
+        packed = b"%s;I%d;%s" % (
+            PACKED_ENCODING_VERSION.encode("ascii"),
+            size,
+            b"".join(blocks[best:] + blocks[:best]),
+        )
+        slots: Tuple[int, ...] = tuple(
+            agent_id
+            for node_agents in node_slots[best:] + node_slots[:best]
+            for agent_id in node_agents
+        )
+        object.__setattr__(self, "_packed", packed)
+        object.__setattr__(self, "_slots", slots)
+        return packed, slots
+
+    def packed(self) -> bytes:
+        """The rotation/relabelling-invariant packed byte encoding."""
+        return self.packed_layout()[0]
+
+    def canonical_key(self) -> bytes:
+        """A 16-byte blake2b digest of :meth:`packed` — the memo key.
+
+        Collisions are cryptographically negligible at 128 bits, so the
+        model checker memoises on the digest instead of the full packed
+        form, cutting memo memory to a small constant per state.
+        """
+        if self._key is not None:
+            return self._key
+        key = hashlib.blake2b(self.packed(), digest_size=16).digest()
+        object.__setattr__(self, "_key", key)
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Configuration):

@@ -195,7 +195,49 @@ class TestMcCommand:
         assert code == 0
         assert "no violations" in output
         assert "deduped" in output
-        assert "all 5 placements" in output
+        assert "all 3 rotation-distinct placements" in output
+
+    def test_mc_json_document(self, capsys):
+        import json
+
+        code = main(
+            ["mc", "--algorithm", "known_k_full", "--n", "6", "--k", "2", "--json"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert document["ok"] is True
+        assert document["por"] is True
+        assert document["totals"]["placements"] == 3
+        assert len(document["results"]) == 3
+        assert all(cell["verdict"] == "ok" for cell in document["results"])
+
+    def test_mc_no_por_doubles_transitions_only(self, capsys):
+        import json
+
+        main(["mc", "--n", "6", "--k", "2", "--json"])
+        reduced = json.loads(capsys.readouterr().out)
+        main(["mc", "--n", "6", "--k", "2", "--json", "--no-por"])
+        full = json.loads(capsys.readouterr().out)
+        assert full["totals"]["states"] == reduced["totals"]["states"]
+        assert full["totals"]["transitions"] > reduced["totals"]["transitions"]
+        assert full["totals"]["por_skipped"] == 0
+
+    def test_mc_jobs_matches_serial(self, capsys):
+        import json
+
+        main(["mc", "--n", "6", "--k", "2", "--json"])
+        serial = json.loads(capsys.readouterr().out)
+        code = main(["mc", "--n", "6", "--k", "2", "--json", "--jobs", "2"])
+        parallel = json.loads(capsys.readouterr().out)
+        assert code == 0
+        serial.pop("jobs"), parallel.pop("jobs")
+        assert parallel == serial
+
+    def test_mc_rejects_bad_jobs_and_bare_resume(self, capsys):
+        assert main(["mc", "--n", "6", "--k", "2", "--jobs", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["mc", "--n", "6", "--k", "2", "--resume"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_mc_explicit_distances(self, capsys):
         code = main(["mc", "--algorithm", "unknown", "--distances", "2,4"])

@@ -18,6 +18,7 @@ import pytest
 
 from repro.mc import (
     MemoryBound,
+    all_placements,
     check_interleavings,
     exhaust_placements,
     replay_counterexample,
@@ -60,7 +61,14 @@ def test_small_instance_exhausts_clean(algorithm):
     assert result.explored > 1
     assert result.terminals >= 1
     assert result.transitions >= result.explored - 1  # spanning the graph
-    assert result.deduped > 0  # interleaving commutation collapses states
+    # The sleep-set reduction prunes the commuting interleavings that
+    # full expansion would only discover as memo hits.
+    assert result.por_skipped > 0
+    full = check_interleavings(algorithm, placement, por=False)
+    assert full.deduped > 0  # interleaving commutation collapses states
+    assert full.explored == result.explored
+    assert full.terminal_keys == result.terminal_keys
+    assert full.transitions > result.transitions
 
 
 def test_result_counts_are_deterministic():
@@ -260,17 +268,42 @@ def test_memory_bound_property_fires_and_replays():
 # ----------------------------------------------------------------------
 
 
+#: Rotation-distinct placement counts (necklace classes) per grid cell;
+#: the raw one-home-at-0 enumeration has C(n-1, k-1) entries.
+NECKLACE_COUNTS = {(6, 2): 3, (6, 3): 4, (8, 2): 4}
+
+
 @pytest.mark.mc
 @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
 @pytest.mark.parametrize("n,k", [(6, 2), (6, 3), (8, 2)])
 def test_exhaustive_grid_all_placements_zero_violations(algorithm, n, k):
     results = exhaust_placements(algorithm, n, k)
-    assert len(results) == math.comb(n - 1, k - 1)
+    assert len(results) == NECKLACE_COUNTS[(n, k)]
     failures = [r.describe() for r in results if not r.ok]
     assert not failures, f"{len(failures)} placements failed: {failures[:3]}"
     assert all(r.complete for r in results)
     assert all(r.terminals >= 1 for r in results)
     assert sum(r.explored for r in results) > 0
+
+
+def test_placement_dedup_counts_necklace_classes():
+    # (8, 2): distance multisets {1,7},{2,6},{3,5},{4,4} -> 4 classes,
+    # versus the raw C(7, 1) = 7 one-home-fixed placements.
+    deduped = list(all_placements(8, 2))
+    assert len(deduped) == 4
+    raw = list(all_placements(8, 2, dedupe_rotations=False))
+    assert len(raw) == math.comb(7, 1)
+    # Dedup keeps one representative per rotation class of the distance
+    # sequence and never invents a placement.
+    raw_classes = {
+        min(p.distances[i:] + p.distances[:i] for i in range(len(p.distances)))
+        for p in raw
+    }
+    kept_classes = {
+        min(p.distances[i:] + p.distances[:i] for i in range(len(p.distances)))
+        for p in deduped
+    }
+    assert kept_classes == raw_classes
 
 
 @pytest.mark.mc
@@ -279,4 +312,7 @@ def test_exhaustive_grid_is_nontrivial():
     # state counts the README reports.
     results = exhaust_placements("unknown", 6, 2)
     assert sum(r.explored for r in results) > 1000
-    assert sum(r.deduped for r in results) > 500
+    assert sum(r.por_skipped for r in results) > 500
+    full = exhaust_placements("unknown", 6, 2, por=False)
+    assert sum(r.deduped for r in full) > 300
+    assert sum(r.explored for r in full) == sum(r.explored for r in results)
