@@ -41,11 +41,15 @@ def audit_configuration(
     properties every reachable configuration must satisfy regardless of
     algorithm:
 
-    * every agent occupies exactly one place (one staying set or one
-      link queue, never two, never zero),
+    * every agent occupies exactly one place (one staying set, one link
+      queue, one delay buffer, or — under link faults — the lost set;
+      never two, never zero),
     * token counters and inbox sizes are non-negative,
     * ``inbox_sizes`` agrees with the full ``inboxes`` contents when the
-      snapshot carries them.
+      snapshot carries them,
+    * under link faults: the lost set's size matches the spent loss
+      budget (phantom queue/buffer entries are anonymous and occupy no
+      agent slot).
 
     Returns a list of human-readable failure strings (empty when the
     snapshot is structurally sound).  Used by the model checker as a
@@ -62,11 +66,39 @@ def audit_configuration(
             seen[agent_id] = f"staying at {node}"
     for node, queue in configuration.queues.items():
         for agent_id in queue:
+            if agent_id < 0:
+                continue  # phantom duplicate: anonymous, not an agent
             if agent_id in seen:
                 failures.append(
                     f"agent {agent_id} queued toward {node} and {seen[agent_id]}"
                 )
             seen[agent_id] = f"queued toward {node}"
+    if configuration.faults is not None:
+        buffers, lost, _ordinal, loss_used, _dup_used = configuration.faults
+        for node, buffer in enumerate(buffers):
+            for payload, remaining in buffer:
+                if payload < 0:
+                    continue  # phantom duplicate
+                if payload in seen:
+                    failures.append(
+                        f"agent {payload} buffered toward {node} "
+                        f"and {seen[payload]}"
+                    )
+                seen[payload] = f"buffered toward {node}"
+                if remaining < 0:
+                    failures.append(
+                        f"negative remaining delay for agent {payload}"
+                    )
+        for agent_id in lost:
+            if agent_id in seen:
+                failures.append(
+                    f"agent {agent_id} lost in transit and {seen[agent_id]}"
+                )
+            seen[agent_id] = "lost in transit"
+        if len(lost) != loss_used:
+            failures.append(
+                f"{len(lost)} agents lost but loss budget shows {loss_used} spent"
+            )
     missing = sorted(set(configuration.agent_states) - set(seen))
     if missing:
         failures.append(f"agents {missing} are nowhere on the ring")
@@ -164,6 +196,12 @@ def verify_uniform_deployment(
     ring = engine.ring
     if not ring.all_queues_empty():
         failures.append("agents still in transit on links")
+    faults = ring.faults
+    if faults is not None:
+        if any(faults.buffers):
+            failures.append("agents still held in link delay buffers")
+        for agent_id in sorted(faults.lost):
+            failures.append(f"agent {agent_id} was lost in transit (link fault)")
     snapshot = engine.snapshot()
     if snapshot.total_messages_pending() > 0:
         failures.append("undelivered messages remain")

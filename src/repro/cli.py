@@ -101,6 +101,31 @@ def _parse_ints(text: str) -> List[int]:
         ) from None
 
 
+def _parse_links(text: str):
+    """Parse a ``--links`` value like ``delay=2,loss=1,seed=7``."""
+    from repro.ring.faults import parse_link_spec
+
+    try:
+        return parse_link_spec(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_links_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--links",
+        type=_parse_links,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "link-fault model, e.g. delay=2,loss=1,dup=1,seed=7: each "
+            "forward move may be delayed up to `delay` link ticks, at "
+            "most `loss` agents dropped and `dup` duplicated in total "
+            "(deterministic draws from `seed`; omit for reliable links)"
+        ),
+    )
+
+
 def _parse_scheduler_list(text: str) -> List[str]:
     """Split a CLI scheduler list into individual spec strings.
 
@@ -143,6 +168,7 @@ def _experiment_spec(args: argparse.Namespace) -> ExperimentSpec:
         scheduler=args.scheduler,
         scheduler_seed=args.scheduler_seed,
         max_steps=getattr(args, "max_steps", None),
+        links=getattr(args, "links", None),
     )
 
 
@@ -176,6 +202,7 @@ def _add_run_style_arguments(parser: argparse.ArgumentParser) -> None:
         "--max-steps", type=int, default=None,
         help="abort the run after this many atomic actions",
     )
+    _add_links_argument(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,6 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
             "identical digests archived identical runs)"
         ),
     )
+    query_parser.add_argument(
+        "--compact", action="store_true",
+        help=(
+            "rewrite the store's shards keeping only the winning line of "
+            "each record (drops superseded replacements, duplicate appends "
+            "and fenced-off garbage; the logical digest is unchanged).  "
+            "Run only when no writers are live."
+        ),
+    )
 
     sweep_parser = commands.add_parser("sweep", help="Table 1 style (n,k) sweep")
     sweep_parser.add_argument(
@@ -304,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--trials", type=int, default=1)
     sweep_parser.add_argument("--seed", type=int, default=0)
+    _add_links_argument(sweep_parser)
     sweep_parser.add_argument(
         "--store", default=None, metavar="DIR",
         help="archive runs / reuse archived runs from this run store",
@@ -331,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     psweep_parser.add_argument("--trials", type=int, default=1)
     psweep_parser.add_argument("--seed", type=int, default=0, help="base seed")
+    _add_links_argument(psweep_parser)
     psweep_parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (default: CPU count; 1 disables the pool)",
@@ -478,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
             "an exhaustive search and are ignored)"
         ),
     )
+    _add_links_argument(mc_parser)
     mc_parser.add_argument(
         "--depth-limit", type=int, default=None,
         help="bound the schedule prefix length (result becomes a bounded check)",
@@ -554,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fuzz one explicit configuration instead of random placements",
     )
     fuzz_parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    _add_links_argument(fuzz_parser)
     fuzz_parser.add_argument(
         "--budget", type=int, default=1000,
         help="total schedule executions (adversary seed runs included)",
@@ -875,7 +915,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
         store = RunStore(args.store)
     results = table1_sweep(
-        args.algorithm, args.grid, seed=args.seed, trials=args.trials, store=store
+        args.algorithm, args.grid, seed=args.seed, trials=args.trials,
+        store=store, links=args.links,
     )
     print(format_rows([result.row() for result in results]))
     ns = sorted({result.placement.ring_size for result in results})
@@ -929,6 +970,7 @@ def _command_psweep(args: argparse.Namespace) -> int:
         schedulers=tuple(_parse_scheduler_list(args.schedulers)),
         trials=args.trials,
         base_seed=args.seed,
+        links=args.links,
     )
     store = None
     if args.store:
@@ -1070,10 +1112,12 @@ def _command_mc(args: argparse.Namespace) -> int:
     if args.resume and not args.store:
         raise ReproError("--resume needs --store (nothing spilled to resume from)")
     por = not args.no_por
+    links = args.links
     if args.spec:
         experiment = ExperimentSpec.load(args.spec)
         algorithm = experiment.algorithm
         placements = [experiment.build_placement()]
+        links = experiment.links  # the spec's fault model, not the flag's
         scope = f"1 configuration from spec {args.spec}"
     elif args.distances:
         algorithm = args.algorithm
@@ -1098,14 +1142,20 @@ def _command_mc(args: argparse.Namespace) -> int:
         progress = lambda stats: print(  # noqa: E731 - tiny local callback
             f"  ... {stats.describe()}", file=sys.stderr
         )
+    if links is not None and not links.active:
+        links = None
+    if links is not None:
+        por = False  # the reduction is unsound under faults (repro.mc.por)
     limits = {
         "depth_limit": args.depth_limit,
         "max_states": args.max_states,
         "stop_at_first": not args.keep_going,
         "por": por,
+        "links": links,
     }
     if not args.json:
-        print(f"model checking {algorithm} on n={n} k={k}: {scope}")
+        faulty = f" under link faults ({links.describe()})" if links else ""
+        print(f"model checking {algorithm} on n={n} k={k}: {scope}{faulty}")
     if args.store is not None:
         # Spilled (and optionally parallel) frontier exploration; one
         # resumable journal per placement, keyed by check-spec hash.
@@ -1232,6 +1282,7 @@ def _command_fuzz(args: argparse.Namespace) -> int:
             seed=args.seed,
             placements=placements,
             corpus_size=args.corpus,
+            links=args.links,
         )
     progress = None
     if args.progress:
@@ -1399,6 +1450,24 @@ def _command_query(args: argparse.Namespace) -> int:
     from repro.store import RunStore
 
     store = RunStore(args.store, create=False)
+    if args.compact:
+        before = store.digest()
+        reclaimed = store.compact()
+        after = store.digest()
+        if after != before:
+            # compact() preserves winners byte for byte, so this can
+            # only mean concurrent writers or on-disk corruption.
+            print(
+                f"error: digest changed across compaction "
+                f"({before[:16]} -> {after[:16]}); "
+                f"was a writer live?", file=sys.stderr,
+            )
+            return 1
+        print(
+            f"compacted {args.store}: reclaimed {reclaimed} bytes, "
+            f"{len(store)} records kept (digest {after[:16]} unchanged)"
+        )
+        return 0
     if args.digest:
         # The logical content digest: stable across shard layout, write
         # order and timestamps, so CI can assert two stores archived

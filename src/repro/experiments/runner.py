@@ -46,6 +46,7 @@ from repro.registry import (
     register_algorithm_info,
     unregister_algorithm,
 )
+from repro.ring.faults import LinkSpec
 from repro.ring.placement import Placement
 from repro.sim.agent import Agent
 from repro.sim.engine import Engine
@@ -242,6 +243,7 @@ def build_engine(
     collect_metrics: bool = True,
     validate_enabledness: bool = False,
     record_views: bool = False,
+    links: Optional[LinkSpec] = None,
 ) -> Engine:
     """Build an engine wired with fresh agents for ``algorithm``.
 
@@ -256,7 +258,9 @@ def build_engine(
     the O(k) enabled-set oracle after every batch as a differential
     check against the incremental set; ``record_views=True`` logs every
     agent view so the engine supports copy-on-branch ``fork()`` (the
-    model checker needs this).
+    model checker needs this); ``links`` injects a
+    :class:`~repro.ring.faults.LinkSpec` (faulty delivery on every
+    link — specs carry their own via ``spec.links``).
     """
     if isinstance(algorithm, ExperimentSpec):
         spec = algorithm
@@ -271,6 +275,7 @@ def build_engine(
             collect_metrics=(collect_metrics, True),
             validate_enabledness=(validate_enabledness, False),
             record_views=(record_views, False),
+            links=(links, None),
         )
         algorithm = spec.algorithm
         placement = spec.build_placement()
@@ -280,6 +285,7 @@ def build_engine(
         collect_metrics = spec.collect_metrics
         validate_enabledness = spec.validate_enabledness
         record_views = spec.record_views
+        links = spec.links
     elif placement is None:
         raise ConfigurationError(
             "build_engine(name, placement) requires a placement "
@@ -296,6 +302,7 @@ def build_engine(
         collect_metrics=collect_metrics,
         validate_enabledness=validate_enabledness,
         record_views=record_views,
+        links=links,
     )
 
 
@@ -307,6 +314,7 @@ def run_experiment(
     memory_audit_interval: int = 16,
     max_steps: Optional[int] = None,
     validate_enabledness: bool = False,
+    links: Optional[LinkSpec] = None,
 ) -> RunResult:
     """Run ``algorithm`` on ``placement`` to quiescence and verify it.
 
@@ -325,6 +333,7 @@ def run_experiment(
             memory_audit_interval=(memory_audit_interval, 16),
             max_steps=(max_steps, None),
             validate_enabledness=(validate_enabledness, False),
+            links=(links, None),
         )
         engine = build_engine(spec, scheduler=scheduler, trace=trace)
         name = spec.algorithm
@@ -342,6 +351,7 @@ def run_experiment(
             memory_audit_interval=memory_audit_interval,
             max_steps=max_steps,
             validate_enabledness=validate_enabledness,
+            links=links,
         )
         name = algorithm
     metrics = engine.run()
@@ -349,7 +359,22 @@ def run_experiment(
     report = verify_uniform_deployment(
         engine, require_halted=halts, require_suspended=not halts
     )
-    positions = tuple(sorted(engine.final_positions().values()))
+    faults = engine.ring.faults
+    if faults is None:
+        positions = tuple(sorted(engine.final_positions().values()))
+    else:
+        # Lost agents have no position; report the survivors' nodes (at
+        # quiescence every survivor is staying — a queued or buffered
+        # agent would keep some actor enabled).
+        positions = tuple(
+            sorted(
+                node
+                for agent_id in engine.agent_ids
+                if agent_id not in faults.lost
+                for kind, node in (engine.ring.locate(agent_id),)
+                if kind == "node"
+            )
+        )
     return RunResult(
         algorithm=name,
         placement=engine.placement,

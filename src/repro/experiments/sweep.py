@@ -66,6 +66,7 @@ from repro.registry import (
     parse_scheduler_spec,
     scheduler_names,
 )
+from repro.ring.faults import LinkSpec
 from repro.sim.scheduler import Scheduler
 from repro.spec import ExperimentSpec, PlacementSpec
 from repro.store import RunRecord, RunStore, env_fingerprint
@@ -162,6 +163,7 @@ class SweepCell:
     trial: int
     seed: int
     max_steps: Optional[int] = None
+    links: Optional[LinkSpec] = None
 
     def to_experiment_spec(self) -> ExperimentSpec:
         """The declarative :class:`~repro.spec.ExperimentSpec` of this cell.
@@ -170,6 +172,9 @@ class SweepCell:
         scheduler seed is decorrelated from it by a fixed XOR (no second
         hash needed).  ``run_cell`` executes exactly this spec, so a
         sweep is nothing but a grid of serializable experiment specs.
+        ``links`` rides along verbatim: fault draws have their own seed
+        inside the :class:`~repro.ring.faults.LinkSpec`, so cell seeds
+        stay comparable between faulty and reliable sweeps.
         """
         return ExperimentSpec(
             algorithm=self.algorithm,
@@ -182,6 +187,7 @@ class SweepCell:
             scheduler=self.scheduler,
             scheduler_seed=self.seed ^ 0x5DEECE66D,
             max_steps=self.max_steps,
+            links=self.links,
         )
 
 
@@ -195,6 +201,7 @@ class SweepSpec:
     trials: int = 1
     base_seed: int = 0
     max_steps: Optional[int] = None
+    links: Optional[LinkSpec] = None
 
     def __post_init__(self) -> None:
         for algorithm in self.algorithms:
@@ -203,11 +210,22 @@ class SweepSpec:
             parse_scheduler_spec(scheduler)  # full spec strings are allowed
         if self.trials < 1:
             raise ConfigurationError("trials must be >= 1")
+        if self.links is not None:
+            if not isinstance(self.links, LinkSpec):
+                raise ConfigurationError(
+                    f"links must be a LinkSpec, got {type(self.links).__name__}"
+                )
+            if not self.links.active:
+                # All-zero budgets mean reliable links; normalise so the
+                # grid (and every cell spec hash) matches a links-less one.
+                object.__setattr__(self, "links", None)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready description of the grid (one schema, used by
-        :func:`rows_to_json` and the CLI alike)."""
-        return {
+        :func:`rows_to_json` and the CLI alike).  ``links`` is emitted
+        only when set, so reliable sweep specs keep their historical
+        serialised form."""
+        out: Dict[str, object] = {
             "algorithms": list(self.algorithms),
             "grid": [list(pair) for pair in self.grid],
             "schedulers": list(self.schedulers),
@@ -215,6 +233,9 @@ class SweepSpec:
             "base_seed": self.base_seed,
             "max_steps": self.max_steps,
         }
+        if self.links is not None:
+            out["links"] = self.links.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
@@ -230,7 +251,7 @@ class SweepSpec:
             )
         unknown = set(data) - {
             "algorithms", "grid", "schedulers", "trials",
-            "base_seed", "max_steps",
+            "base_seed", "max_steps", "links",
         }
         if unknown:
             raise ConfigurationError(
@@ -251,6 +272,7 @@ class SweepSpec:
                 )
             grid.append((int(pair[0]), int(pair[1])))
         max_steps = data.get("max_steps")
+        links_data = data.get("links")
         return cls(
             algorithms=algorithms,
             grid=tuple(grid),
@@ -258,6 +280,7 @@ class SweepSpec:
             trials=int(data.get("trials", 1)),
             base_seed=int(data.get("base_seed", 0)),
             max_steps=None if max_steps is None else int(max_steps),
+            links=None if links_data is None else LinkSpec.from_dict(links_data),
         )
 
 
@@ -284,6 +307,7 @@ def expand_cells(spec: SweepSpec) -> List[SweepCell]:
                                 trial,
                             ),
                             max_steps=spec.max_steps,
+                            links=spec.links,
                         )
                     )
     return cells

@@ -37,19 +37,22 @@ def table1_sweep(
     seed: int = 0,
     trials: int = 1,
     store: Optional[RunStore] = None,
+    links=None,
 ) -> List[RunResult]:
     """Run ``algorithm`` over random placements for every (n, k) in ``grid``.
 
     With ``store=`` given, each run is content-addressed: archived
     placements are served from the store and fresh ones are archived,
     so repeating a sweep (or overlapping grids) re-simulates nothing.
+    ``links`` (a :class:`~repro.ring.faults.LinkSpec`) subjects every
+    run to the same link-fault model.
     """
     rng = random.Random(seed)
     results = []
     for n, k in grid:
         for _ in range(trials):
             placement = random_placement(n, k, rng)
-            spec = ExperimentSpec.for_placement(algorithm, placement)
+            spec = ExperimentSpec.for_placement(algorithm, placement, links=links)
             results.append(cached_run(spec, store)[0])
     return results
 

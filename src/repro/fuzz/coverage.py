@@ -42,7 +42,7 @@ def coverage_key(feature: object) -> int:
     return int.from_bytes(digest.digest(), "big")
 
 
-def enabled_pattern(engine: Engine) -> Tuple[Tuple[str, ...], int]:
+def enabled_pattern(engine: Engine) -> Tuple[object, ...]:
     """The scheduling-surface abstraction of the current engine state.
 
     Per agent, one status letter — ``A`` active-staying, ``Q`` head of a
@@ -50,22 +50,37 @@ def enabled_pattern(engine: Engine) -> Tuple[Tuple[str, ...], int]:
     ``W`` suspended but woken (message pending, enabled), ``H`` halted —
     sorted so the pattern is agent-relabelling-invariant, plus the
     enabled count.
+
+    On a faulty engine two more letters appear — ``B`` held in a link
+    delay buffer, ``L`` lost in transit — and the pattern gains a third
+    component: the number of currently enabled *link actors*.  Reliable
+    engines keep the historical two-element shape, so fault-free
+    campaigns produce exactly the pre-fault coverage keys.
     """
     enabled = set(engine.enabled_agents())
     statuses: List[str] = []
     ring = engine.ring
+    faults = ring.faults
     for agent_id in engine.agent_ids:
         agent = engine.agent(agent_id)
+        if faults is not None and agent_id in faults.lost:
+            statuses.append("L")
+            continue
         if agent.halted:
             statuses.append("H")
             continue
         kind, node = ring.locate(agent_id)
-        if kind == "queue":
+        if kind == "buffer":
+            statuses.append("B")
+        elif kind == "queue":
             statuses.append("Q" if ring.queue_head(node) == agent_id else "q")
         elif agent.suspended:
             statuses.append("W" if agent_id in enabled else "S")
         else:
             statuses.append("A")
+    if faults is not None:
+        actors = sum(1 for agent_id in enabled if agent_id < 0)
+        return (tuple(sorted(statuses)), len(enabled), actors)
     return (tuple(sorted(statuses)), len(enabled))
 
 

@@ -145,7 +145,7 @@ class ScheduleFuzzer:
             spec.build_placement(index) for index in range(spec.placements)
         ]
         self._oracles: List[PropertyOracle] = [
-            PropertyOracle(spec.algorithm, placement)
+            PropertyOracle(spec.algorithm, placement, links=spec.links)
             for placement in self._placements
         ]
         # Shrink replays of terminal defects skip the per-edge safety
@@ -153,7 +153,7 @@ class ScheduleFuzzer:
         # only need the same terminal property to fail), which makes
         # delta debugging ~5x cheaper.
         self._terminal_oracles: List[PropertyOracle] = [
-            PropertyOracle(spec.algorithm, placement, safety=())
+            PropertyOracle(spec.algorithm, placement, safety=(), links=spec.links)
             for placement in self._placements
         ]
 

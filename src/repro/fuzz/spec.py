@@ -33,6 +33,7 @@ from typing import Dict, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.registry import get_algorithm
+from repro.ring.faults import LinkSpec
 from repro.ring.placement import Placement
 from repro.spec import ExperimentSpec, PlacementSpec
 
@@ -68,9 +69,17 @@ class FuzzSpec:
     placements: int = 4
     corpus_size: int = 64
     mutations: int = 3
+    links: Optional[LinkSpec] = None
 
     def __post_init__(self) -> None:
         get_algorithm(self.algorithm)  # raises on unknown names
+        if self.links is not None:
+            if not isinstance(self.links, LinkSpec):
+                raise ConfigurationError(
+                    f"links must be a LinkSpec, got {type(self.links).__name__}"
+                )
+            if not self.links.active:
+                object.__setattr__(self, "links", None)
         if not isinstance(self.placement, PlacementSpec):
             raise ConfigurationError(
                 "placement must be a PlacementSpec, got "
@@ -134,18 +143,25 @@ class FuzzSpec:
         running the returned spec replays the schedule deterministically
         (disabled entries skipped, lowest-id fallback after the log) —
         the triggering spec whose content hash keys archived failures.
+        The campaign's link-fault model rides along, so replaying the
+        spec reproduces the same fault draws the fuzzer saw.
         """
         return ExperimentSpec(
             algorithm=self.algorithm,
             placement=PlacementSpec.from_placement(placement),
             scheduler=replay_spec_string(schedule),
+            links=self.links,
         )
 
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Lossless JSON-ready form (sections mirror ExperimentSpec)."""
-        return {
+        """Lossless JSON-ready form (sections mirror ExperimentSpec).
+
+        ``links`` is emitted only when active, so reliable campaigns
+        keep their historical serialised form and content hash.
+        """
+        out: Dict[str, object] = {
             "algorithm": self.algorithm,
             "placement": self.placement.to_dict(),
             "budget": {"runs": self.budget, "max_steps": self.max_steps},
@@ -156,6 +172,9 @@ class FuzzSpec:
                 "mutations": self.mutations,
             },
         }
+        if self.links is not None:
+            out["links"] = self.links.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FuzzSpec":
@@ -164,7 +183,9 @@ class FuzzSpec:
             raise ConfigurationError(
                 f"fuzz spec must be a dict, got {type(data).__name__}"
             )
-        unknown = set(data) - {"algorithm", "placement", "budget", "mutation"}
+        unknown = set(data) - {
+            "algorithm", "placement", "budget", "mutation", "links",
+        }
         if unknown:
             raise ConfigurationError(
                 f"fuzz spec has unknown keys {sorted(unknown)}"
@@ -185,6 +206,7 @@ class FuzzSpec:
                     f"got {type(section).__name__}"
                 )
         max_steps = budget.get("max_steps")
+        links_data = data.get("links")
         return cls(
             algorithm=algorithm,
             placement=placement,
@@ -194,6 +216,7 @@ class FuzzSpec:
             placements=int(mutation.get("placements", 4)),
             corpus_size=int(mutation.get("corpus_size", 64)),
             mutations=int(mutation.get("mutations", 3)),
+            links=None if links_data is None else LinkSpec.from_dict(links_data),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -45,6 +45,7 @@ from repro.mc.properties import (
     resolve_terminal,
 )
 from repro.mc.state import Frame, SearchStats, capture_pre_state
+from repro.ring.faults import LinkSpec
 from repro.ring.placement import Placement
 from repro.sim.agent import Agent
 from repro.sim.engine import Engine
@@ -182,7 +183,10 @@ def _cycle_message(depth: int) -> str:
 
 
 def _make_engine(
-    algorithm: str, placement: Placement, factory: Optional[AgentsFactory]
+    algorithm: str,
+    placement: Placement,
+    factory: Optional[AgentsFactory],
+    links: Optional[LinkSpec] = None,
 ) -> Engine:
     if factory is not None:
         return Engine(
@@ -190,11 +194,16 @@ def _make_engine(
             agents=list(factory()),
             collect_metrics=False,
             record_views=True,
+            links=links,
         )
     from repro.experiments.runner import build_engine
 
     return build_engine(
-        algorithm, placement, collect_metrics=False, record_views=True
+        algorithm,
+        placement,
+        collect_metrics=False,
+        record_views=True,
+        links=links,
     )
 
 
@@ -211,6 +220,7 @@ def check_interleavings(
     max_states: Optional[int] = None,
     stop_at_first: bool = True,
     por: bool = True,
+    links: Optional[LinkSpec] = None,
     progress: Optional[Callable[[SearchStats], None]] = None,
     progress_every: int = 5000,
 ) -> MCResult:
@@ -233,10 +243,21 @@ def check_interleavings(
     state, so verdicts, explored-state counts and terminal-state sets
     are identical to full expansion while the executed-transition count
     drops.  ``por=False`` restores plain full expansion.
+
+    ``links`` injects a :class:`~repro.ring.faults.LinkSpec`: the state
+    graph gains link-actor branches (delayed deliveries, phantom
+    consumption) and the default safety suite switches to its
+    fault-aware variants.  Sleep sets are unsound under the shared
+    fault-draw stream (see :mod:`repro.mc.por`), so an active spec
+    forces full expansion regardless of ``por``.
     """
     n, k = placement.ring_size, placement.agent_count
+    if links is not None and not links.active:
+        links = None
+    if links is not None:
+        por = False  # agent moves stop commuting: shared draw stream
     safety_props: Tuple[SafetyProperty, ...] = tuple(
-        default_safety_properties(n, k) if safety is None else safety
+        default_safety_properties(n, k, links) if safety is None else safety
     )
     terminal_props: Tuple[TerminalProperty, ...] = (
         (resolve_terminal(algorithm, require_halted, require_suspended),)
@@ -244,7 +265,7 @@ def check_interleavings(
         else tuple(terminal)
     )
 
-    root = _make_engine(algorithm, placement, factory)
+    root = _make_engine(algorithm, placement, factory, links)
     root_key = root.snapshot().canonical_key()
     stats = SearchStats(explored=1)
     # visited maps canonical key -> sleep slots the state was (last)
@@ -482,6 +503,7 @@ def replay_counterexample(
     require_suspended: Optional[bool] = None,
     safety: Optional[Sequence[SafetyProperty]] = None,
     terminal: Optional[Sequence[TerminalProperty]] = None,
+    links: Optional[LinkSpec] = None,
 ) -> Tuple[Engine, List[str]]:
     """Re-drive a counterexample schedule and re-check its properties.
 
@@ -490,14 +512,19 @@ def replay_counterexample(
     the same property suite along the way.  Returns the final engine
     and every violation message observed — a deterministic replay of
     the original search's finding (the test suite asserts the original
-    message is reproduced verbatim).
+    message is reproduced verbatim).  A counterexample found under a
+    :class:`~repro.ring.faults.LinkSpec` must be replayed under the
+    same ``links`` value — the schedule's link-actor entries only exist
+    on a faulty engine.
     """
     placement = counterexample.placement
     n, k = placement.ring_size, placement.agent_count
+    if links is not None and not links.active:
+        links = None
     safety_props = tuple(
-        default_safety_properties(n, k) if safety is None else safety
+        default_safety_properties(n, k, links) if safety is None else safety
     )
-    engine = _make_engine(counterexample.algorithm, placement, factory)
+    engine = _make_engine(counterexample.algorithm, placement, factory, links)
     messages: List[str] = []
     path_keys = {engine.snapshot().canonical_key()}
     for agent_id in counterexample.schedule:

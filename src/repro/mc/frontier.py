@@ -114,13 +114,16 @@ def check_spec(
     stop_at_first: bool,
     safety_props: tuple,
     terminal_props: tuple,
+    links: "Optional[object]" = None,
 ) -> dict:
     """The canonical, JSON-stable description of one check.
 
     Everything that changes the *meaning* of the exploration is in here
     (including the packed-encoding version — a format bump must never
     resume an old spill); runtime knobs like ``jobs`` are not, so a
-    check can resume under a different worker count.
+    check can resume under a different worker count.  ``links`` (a
+    :class:`~repro.ring.faults.LinkSpec`, serialised) is emitted only
+    when active, so every reliable check keeps its historical hash.
     """
 
     def props(sequence: tuple) -> list:
@@ -134,7 +137,7 @@ def check_spec(
             described.append([prop.name, params])
         return described
 
-    return {
+    spec = {
         "encoding": PACKED_ENCODING_VERSION,
         "algorithm": algorithm,
         "ring_size": placement.ring_size,
@@ -146,6 +149,9 @@ def check_spec(
         "safety": props(safety_props),
         "terminal": props(terminal_props),
     }
+    if links is not None and getattr(links, "active", False):
+        spec["links"] = links.to_dict()
+    return spec
 
 
 def check_hash(spec: dict) -> str:

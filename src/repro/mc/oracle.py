@@ -36,6 +36,7 @@ from repro.mc.properties import (
     resolve_terminal,
 )
 from repro.mc.state import capture_pre_state
+from repro.ring.faults import LinkSpec
 from repro.ring.placement import Placement
 from repro.sim.agent import Agent
 from repro.sim.engine import Engine
@@ -90,12 +91,16 @@ class PropertyOracle:
         terminal: Optional[Sequence[TerminalProperty]] = None,
         require_halted: Optional[bool] = None,
         require_suspended: Optional[bool] = None,
+        links: Optional[LinkSpec] = None,
     ) -> None:
         self.algorithm = algorithm
         self.placement = placement
+        if links is not None and not links.active:
+            links = None
+        self.links = links
         n, k = placement.ring_size, placement.agent_count
         self.safety: Tuple[SafetyProperty, ...] = tuple(
-            default_safety_properties(n, k) if safety is None else safety
+            default_safety_properties(n, k, links) if safety is None else safety
         )
         self.terminal: Tuple[TerminalProperty, ...] = (
             (resolve_terminal(algorithm, require_halted, require_suspended),)
@@ -115,6 +120,7 @@ class PropertyOracle:
                 agents=list(self._factory()),
                 collect_metrics=False,
                 record_views=record_views,
+                links=self.links,
             )
         from repro.experiments.runner import build_engine
 
@@ -123,6 +129,7 @@ class PropertyOracle:
             self.placement,
             collect_metrics=False,
             record_views=record_views,
+            links=self.links,
         )
 
     def fork_root(self) -> Engine:

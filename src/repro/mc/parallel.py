@@ -54,6 +54,7 @@ from repro.mc.properties import (
     resolve_terminal,
 )
 from repro.mc.state import SearchStats, capture_pre_state
+from repro.ring.faults import LinkSpec
 from repro.ring.placement import Placement
 from repro.sim.engine import Engine
 
@@ -205,9 +206,10 @@ def _init_frontier_worker(
     por: bool,
     safety_props: Tuple[SafetyProperty, ...],
     terminal_props: Tuple[TerminalProperty, ...],
+    links: Optional[LinkSpec] = None,
 ) -> None:
     global _WORKER
-    root = _make_engine(algorithm, placement, None)
+    root = _make_engine(algorithm, placement, None, links)
     _WORKER = _FrontierWorker(
         root, safety_props, terminal_props, por, placement.ring_size
     )
@@ -250,6 +252,7 @@ def check_frontier(
     depth_limit: Optional[int] = None,
     max_states: Optional[int] = None,
     stop_at_first: bool = True,
+    links: Optional[LinkSpec] = None,
     progress: Optional[Callable[[SearchStats], None]] = None,
 ) -> MCResult:
     """Breadth-first, optionally parallel and disk-spilled exploration.
@@ -260,7 +263,11 @@ def check_frontier(
     requires a registered ``algorithm`` name; ``store_root`` spills
     every wave to ``<store_root>/mc/<check-hash>/`` and ``resume=True``
     continues a previously killed run (a completed run's stored result
-    is returned directly).
+    is returned directly).  ``links`` behaves as in
+    :func:`check_interleavings`: fault-aware properties, link-actor
+    branches, and sleep sets forced off (see :mod:`repro.mc.por`); the
+    wave-merge discipline keeps the verdict ``jobs``-invariant on
+    faulty instances exactly as on reliable ones.
     """
     if jobs > 1 and factory is not None:
         raise ValueError(
@@ -268,8 +275,12 @@ def check_frontier(
             "agent factories do not cross process boundaries"
         )
     n, k = placement.ring_size, placement.agent_count
+    if links is not None and not links.active:
+        links = None
+    if links is not None:
+        por = False  # agent moves stop commuting: shared draw stream
     safety_props: Tuple[SafetyProperty, ...] = tuple(
-        default_safety_properties(n, k) if safety is None else safety
+        default_safety_properties(n, k, links) if safety is None else safety
     )
     terminal_props: Tuple[TerminalProperty, ...] = (
         (resolve_terminal(algorithm, require_halted, require_suspended),)
@@ -289,6 +300,7 @@ def check_frontier(
             stop_at_first=stop_at_first,
             safety_props=safety_props,
             terminal_props=terminal_props,
+            links=links,
         )
         spill = FrontierSpill(store_root, spec)
         if resume:
@@ -319,7 +331,7 @@ def check_frontier(
             # explore further, just finalise the stored state.
             frontier = []
     else:
-        root = _make_engine(algorithm, placement, factory)
+        root = _make_engine(algorithm, placement, factory, links)
         root_key = root.snapshot().canonical_key()
         wave = 0
         visited = {root_key: frozenset()}
@@ -340,11 +352,18 @@ def check_frontier(
         pool = multiprocessing.Pool(
             processes=jobs,
             initializer=_init_frontier_worker,
-            initargs=(algorithm, placement, por, safety_props, terminal_props),
+            initargs=(
+                algorithm,
+                placement,
+                por,
+                safety_props,
+                terminal_props,
+                links,
+            ),
         )
     else:
         local_worker = _FrontierWorker(
-            _make_engine(algorithm, placement, factory),
+            _make_engine(algorithm, placement, factory, links),
             safety_props,
             terminal_props,
             por,

@@ -58,6 +58,33 @@ survive the agent-relabelling quotient of the memo table; a revisit
 whose inherited sleep set is not a superset of the stored one re-expands
 exactly the difference (the standard sleep-set revisit rule — stored
 sets shrink monotonically, so the search terminates).
+
+Link faults: the new action class, and why the reduction stands down
+--------------------------------------------------------------------
+
+An active :class:`~repro.ring.faults.LinkSpec` adds *link actor*
+actions (pseudo-id ``-(v + 1)`` for the link into node ``v``): popping
+a phantom from ``q_v``'s head or ticking the link's delay buffer
+(delivering its head into ``q_v``'s tail when the countdown ends).  A
+link action's footprint is exactly ``{q_v, buffer_v}`` — it draws
+nothing, reads no node state and touches no inbox — so it commutes
+with every action whose node is neither ``v`` (head of ``q_v``) nor
+``v - 1`` (a forward move from ``v - 1`` feeds ``q_v``/``buffer_v``),
+and two link actors of distinct links always commute.
+
+Agent actions, however, stop commuting with *each other*: every
+forward move consumes one ordinal from the shared deterministic draw
+stream (:func:`repro.ring.faults.fault_fraction` is keyed on the
+label-invariant global move count), so reordering two moves reassigns
+their fault draws and can reach genuinely different states.  Whether
+an enabled agent will move is unknowable before running its protocol
+step, so *every* pair of agent actions is potentially dependent
+through the draw counter.  A sound sleep set under faults is therefore
+empty — the checker runs faulty instances with the reduction disabled
+(full expansion; verdicts unaffected, only the transition count grows)
+and link actors never enter a sleep set.  Recovering reduction under
+faults would need per-link draw streams keyed on something rotation-
+invariant yet order-insensitive; nothing of the sort is attempted here.
 """
 
 from __future__ import annotations
@@ -80,8 +107,11 @@ def action_node(engine: Engine, agent_id: int) -> int:
     """The node whose local state ``agent_id``'s next action touches.
 
     A staying agent acts at its current node; a queued agent's dequeue
-    acts at the node its link feeds.
+    acts at the node its link feeds; a link actor (negative pseudo-id,
+    only under active link faults) acts at the node its link enters.
     """
+    if agent_id < 0:
+        return -agent_id - 1
     _, node = engine.ring.locate(agent_id)
     return node
 

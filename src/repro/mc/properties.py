@@ -36,6 +36,7 @@ from repro.analysis.verification import audit_configuration, verify_uniform_depl
 from repro.errors import ConfigurationError, SimulationError
 from repro.mc.state import PreState
 from repro.ring.configuration import Configuration
+from repro.ring.faults import PHANTOM, LinkSpec
 from repro.sim.engine import Engine
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "TokenMonotonicity",
     "MemoryBound",
     "EnabledSetConsistency",
+    "FaultBudgetBound",
     "UniformTerminal",
     "default_memory_limit",
     "default_safety_properties",
@@ -98,17 +100,43 @@ class FifoLinkIntegrity(SafetyProperty):
     ``a`` enters the *tail* of the destination queue.  Any other delta —
     a reorder, a removal from the middle, a foreign agent appearing —
     is an overtake or a corruption the model forbids.
+
+    Under an active :class:`~repro.ring.faults.LinkSpec` the invariant
+    is *preserved under pure delay* and relaxed only where duplication
+    shows: the tail-enter may carry a trailing phantom (a duplicated
+    delivery rides immediately behind its original), a moving agent may
+    touch no queue at all (held in a delay buffer, or lost in transit),
+    and a *link actor* may pop a phantom from its own queue's head or
+    deliver one buffered payload to its own queue's tail (send order —
+    the delay buffer is itself FIFO).  Everything else — reorders,
+    foreign queues, mid-queue edits — stays forbidden.
     """
 
     name = "fifo-link-integrity"
 
     def check(self, pre, engine, snapshot, acted):
         ring = engine.ring
+        faulty = ring.faults is not None
         for node in range(ring.size):
             before = pre.queues[node]
             after = ring.queue_contents(node)
             if after == before:
                 continue
+            if acted < 0:
+                # Link actor: may only touch the queue of its own link.
+                if node != -acted - 1:
+                    return (
+                        f"queue into node {node} changed {before} -> {after} "
+                        f"by link actor {acted} of another link"
+                    )
+                if before and before[0] == PHANTOM and after == before[1:]:
+                    continue  # phantom consumed at the head
+                if len(after) == len(before) + 1 and after[: len(before)] == before:
+                    continue  # one buffered payload delivered to the tail
+                return (
+                    f"queue into node {node} changed {before} -> {after} "
+                    f"by link actor {acted}: not a phantom-pop/buffer-delivery"
+                )
             popped = before[1:] if before and before[0] == acted else None
             if after == popped:
                 continue  # the actor arrived from this queue's head
@@ -116,6 +144,12 @@ class FifoLinkIntegrity(SafetyProperty):
                 continue  # the actor entered this queue's tail
             if popped is not None and after == popped + (acted,):
                 continue  # n == 1: left the head and re-entered the tail
+            if faulty:
+                # Duplication: the phantom copy enters directly behind.
+                if after == before + (acted, PHANTOM):
+                    continue
+                if popped is not None and after == popped + (acted, PHANTOM):
+                    continue
             return (
                 f"queue into node {node} changed {before} -> {after} "
                 f"by agent {acted}: not a head-leave/tail-enter"
@@ -146,6 +180,8 @@ class MemoryBound(SafetyProperty):
         self.limit_bits = limit_bits
 
     def check(self, pre, engine, snapshot, acted):
+        if acted < 0:
+            return None  # link actors have no agent memory
         bits = engine.agent(acted).memory_bits()
         if bits > self.limit_bits:
             return (
@@ -168,8 +204,61 @@ class EnabledSetConsistency(SafetyProperty):
         return None
 
 
+class FaultBudgetBound(SafetyProperty):
+    """Conservation modulo the declared fault budgets.
+
+    Agents may only disappear into the declared loss budget (never more
+    than ``loss`` dropped, and every drop accounted in the lost set —
+    :class:`StructuralIntegrity` checks the set/counter agreement),
+    phantoms may only appear inside the ``dup`` budget, and no delivery
+    is ever held longer than ``delay`` link actions.  Together with the
+    structural audit this is the faulty ring's conservation law: the
+    reliable law (nothing appears, nothing disappears) weakened by
+    exactly the declared envelope and nothing else.
+    """
+
+    name = "fault-budget-bound"
+
+    def __init__(self, links: LinkSpec) -> None:
+        # Stored as scalars (not the spec object) so the property's
+        # ``vars()`` stay hashable primitives for check-spec fingerprints.
+        self.delay = links.delay
+        self.loss = links.loss
+        self.dup = links.dup
+
+    def check(self, pre, engine, snapshot, acted):
+        faults = engine.ring.faults
+        if faults is None:
+            return "fault-budget property attached to a reliable engine"
+        if faults.loss_used > self.loss:
+            return (
+                f"{faults.loss_used} agents lost, budget allows {self.loss}"
+            )
+        if faults.dup_used > self.dup:
+            return (
+                f"{faults.dup_used} phantoms spawned, budget allows {self.dup}"
+            )
+        for node, buffer in enumerate(faults.buffers):
+            for payload, remaining in buffer:
+                if remaining > self.delay:
+                    return (
+                        f"payload {payload} held {remaining} ticks on the "
+                        f"link into {node}, bound is {self.delay}"
+                    )
+        return None
+
+
 class UniformTerminal(TerminalProperty):
-    """Every quiescent state is a uniform deployment (Definitions 1/2)."""
+    """Every quiescent state is a uniform deployment (Definitions 1/2).
+
+    Under link faults with a spent loss budget the claim is vacuous:
+    fewer than ``k`` agents survive, so no placement of the survivors
+    can satisfy the k-agent spacing condition and the algorithm cannot
+    be blamed for it.  Delay and duplication change nothing here — at
+    quiescence every buffer has drained and every phantom is consumed
+    (a pending one would keep its link actor enabled), so the full
+    check applies.
+    """
 
     name = "uniform-terminal"
 
@@ -178,6 +267,9 @@ class UniformTerminal(TerminalProperty):
         self.require_suspended = require_suspended
 
     def check(self, engine, snapshot):
+        faults = engine.ring.faults
+        if faults is not None and faults.lost:
+            return None  # vacuous: the declared loss ate an agent
         report = verify_uniform_deployment(
             engine,
             require_halted=self.require_halted,
@@ -230,13 +322,23 @@ def default_memory_limit(ring_size: int, agent_count: int) -> int:
 
 
 def default_safety_properties(
-    ring_size: int, agent_count: int
+    ring_size: int,
+    agent_count: int,
+    links: "Optional[LinkSpec]" = None,
 ) -> Tuple[SafetyProperty, ...]:
-    """The standard per-edge property suite for one instance size."""
-    return (
+    """The standard per-edge property suite for one instance size.
+
+    With an active ``links`` spec the suite additionally enforces the
+    fault-budget conservation law (:class:`FaultBudgetBound`); the
+    other properties are fault-aware by construction.
+    """
+    properties: Tuple[SafetyProperty, ...] = (
         StructuralIntegrity(),
         FifoLinkIntegrity(),
         TokenMonotonicity(),
         MemoryBound(default_memory_limit(ring_size, agent_count)),
         EnabledSetConsistency(),
     )
+    if links is not None and links.active:
+        properties = properties + (FaultBudgetBound(links),)
+    return properties

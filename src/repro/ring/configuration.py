@@ -23,6 +23,27 @@ contents) and picks the lexicographically least rotation.  Equality and
 hashing delegate to the canonical form, so a ``set`` or ``dict`` of
 configurations deduplicates the whole symmetry orbit — exactly what the
 model checker's visited-state memo needs.
+
+Link-fault state
+----------------
+
+Under an active :class:`repro.ring.faults.LinkSpec` the engine carries
+extra state the memo key must see: per-link delay buffers (who is held
+on each link and for how many more ticks), phantom duplicate entries
+(anonymous ``-1`` payloads in queues and buffers), and the draw
+counters (global move ordinal plus spent loss/dup budgets — the future
+fault draws are a pure function of these).  ``faults`` holds the
+:meth:`repro.ring.network.RingFaults.snapshot` tuple; the canonical and
+packed forms fold the buffers into each node's block *inside* the
+rotation (they live on concrete links) and append the counters as a
+rotation-invariant trailer.  Phantoms encode as an anonymous marker —
+they carry no agent state and are interchangeable, so relabelling
+soundness is preserved.  Lost agents are deliberately *not* encoded:
+they never act again, so two states differing only in which (or whose)
+agent was dropped — with the same spent budgets — have isomorphic
+futures.  With ``faults=None`` every encoding is byte-identical to the
+pre-fault format, so reliable-link memo keys and spilled frontiers are
+untouched.
 """
 
 from __future__ import annotations
@@ -42,6 +63,17 @@ __all__ = [
 #: byte layout changes so spilled model-checker frontiers keyed on the
 #: encoding can never be resumed against an incompatible format.
 PACKED_ENCODING_VERSION = "MC1"
+
+#: Canonical-form stand-in for a phantom (duplicated) delivery.  Agent
+#: payloads are ``(started, state, inbox)`` tuples, so a bare string can
+#: never collide with one; phantoms are anonymous and interchangeable,
+#: which is exactly what a shared constant marker expresses.
+_PHANTOM_MARKER = "phantom"
+
+#: Packed-form byte for a phantom payload.  Every other payload encoding
+#: opens with a :func:`pack_value` type tag (``(`` for the payload
+#: tuple), so the single ``*`` parses unambiguously.
+_PHANTOM_BYTE = b"*"
 
 
 def pack_value(value: object, out: bytearray) -> None:
@@ -138,6 +170,10 @@ class Configuration:
     queues: Mapping[int, Tuple[int, ...]]
     inboxes: Optional[Mapping[int, Tuple[object, ...]]] = None
     started: Optional[Mapping[int, bool]] = None
+    #: ``RingFaults.snapshot()`` tuple ``(buffers, lost, ordinal,
+    #: loss_used, dup_used)`` on a faulty ring, else ``None`` (see the
+    #: module docstring for how it enters the canonical forms).
+    faults: Optional[Tuple[object, ...]] = None
     _canonical: Optional[Tuple[object, ...]] = field(
         default=None, init=False, repr=False
     )
@@ -175,6 +211,9 @@ class Configuration:
         payloads = {
             agent_id: self._agent_payload(agent_id) for agent_id in self.agent_states
         }
+        faults = self.faults
+        if faults is not None:
+            buffers, _lost, ordinal, loss_used, dup_used = faults
         nodes = []
         for node in range(self.ring_size):
             staying = tuple(
@@ -183,8 +222,24 @@ class Configuration:
                     key=repr,
                 )
             )
-            queued = tuple(payloads[agent_id] for agent_id in self.queues.get(node, ()))
-            nodes.append((self.tokens[node], staying, queued))
+            queued = tuple(
+                payloads[agent_id] if agent_id >= 0 else _PHANTOM_MARKER
+                for agent_id in self.queues.get(node, ())
+            )
+            if faults is None:
+                nodes.append((self.tokens[node], staying, queued))
+            else:
+                # Delay buffers live on concrete links, so they rotate
+                # with the ring: fold them into the node entry (payload
+                # description + remaining ticks, head first).
+                held = tuple(
+                    (
+                        payloads[payload] if payload >= 0 else _PHANTOM_MARKER,
+                        remaining,
+                    )
+                    for payload, remaining in buffers[node]
+                )
+                nodes.append((self.tokens[node], staying, queued, held))
         node_reprs = [repr(entry) for entry in nodes]
         size = self.ring_size
         best = min(
@@ -192,6 +247,13 @@ class Configuration:
             key=lambda r: tuple(node_reprs[r:] + node_reprs[:r]),
         )
         canonical = (size,) + tuple(nodes[best:] + nodes[:best])
+        if faults is not None:
+            # Rotation-invariant draw counters: the future fault draws
+            # are a pure function of these, so states that agree on the
+            # ring but diverge on spent budgets must not be merged.
+            canonical = canonical + (
+                ("link-faults", ordinal, loss_used, dup_used),
+            )
         object.__setattr__(self, "_canonical", canonical)
         return canonical
 
@@ -219,7 +281,10 @@ class Configuration:
         sleep sets in slot coordinates so they survive the relabelling
         quotient; ties between identical payloads are broken by agent id,
         which is sound because tied agents are interchangeable under a
-        state automorphism.
+        state automorphism.  Phantom queue entries and buffer-held
+        agents are excluded from the slot layout: neither is ever
+        schedulable as an agent, so neither can appear in a sleep set
+        (link actors are never slept — see :mod:`repro.mc.por`).
         """
         if self._packed is not None:
             assert self._slots is not None
@@ -229,6 +294,9 @@ class Configuration:
             buf = bytearray()
             pack_value(self._agent_payload(agent_id), buf)
             payload_bytes[agent_id] = bytes(buf)
+        faults = self.faults
+        if faults is not None:
+            buffers, _lost, ordinal, loss_used, dup_used = faults
         blocks = []
         node_slots = []
         for node in range(self.ring_size):
@@ -244,9 +312,27 @@ class Configuration:
                 block += payload_bytes[agent_id]
             block += b"Q%d:" % len(queued_ids)
             for agent_id in queued_ids:
-                block += payload_bytes[agent_id]
+                if agent_id >= 0:
+                    block += payload_bytes[agent_id]
+                else:
+                    block += _PHANTOM_BYTE
+            if faults is not None:
+                # Delay buffer of the link into this node, head first:
+                # payload encoding + remaining ticks, inside the
+                # rotation because buffers sit on concrete links.
+                held = buffers[node]
+                block += b"F%d:" % len(held)
+                for payload, remaining in held:
+                    if payload >= 0:
+                        block += payload_bytes[payload]
+                    else:
+                        block += _PHANTOM_BYTE
+                    block += b"I%d;" % remaining
             blocks.append(bytes(block))
-            node_slots.append(tuple(staying_ids) + queued_ids)
+            node_slots.append(
+                tuple(staying_ids)
+                + tuple(agent_id for agent_id in queued_ids if agent_id >= 0)
+            )
         size = self.ring_size
         best = min(range(size), key=lambda r: blocks[r:] + blocks[:r])
         packed = b"%s;I%d;%s" % (
@@ -254,6 +340,12 @@ class Configuration:
             size,
             b"".join(blocks[best:] + blocks[:best]),
         )
+        if faults is not None:
+            # Rotation-invariant trailer: the draw counters that fix
+            # every future fault decision.  ``F;`` cannot open a node
+            # block (those start with ``I``), so the trailer parses
+            # unambiguously after the ``size`` blocks.
+            packed += b"F;I%d;I%d;I%d;" % (ordinal, loss_used, dup_used)
         slots: Tuple[int, ...] = tuple(
             agent_id
             for node_agents in node_slots[best:] + node_slots[:best]
@@ -289,12 +381,19 @@ class Configuration:
         return hash(self.canonical())
 
     def local(self, node: int) -> LocalConfiguration:
-        """Return the local configuration of ``node`` (Lemma 1's unit)."""
+        """Return the local configuration of ``node`` (Lemma 1's unit).
+
+        Phantom queue entries (duplicated deliveries under link faults)
+        carry no agent state and are skipped; Lemma 1 compares reliable
+        executions, where no phantom ever exists.
+        """
         staying_states = tuple(
             self.agent_states[agent_id] for agent_id in self.staying.get(node, ())
         )
         queued_states = tuple(
-            self.agent_states[agent_id] for agent_id in self.queues.get(node, ())
+            self.agent_states[agent_id]
+            for agent_id in self.queues.get(node, ())
+            if agent_id >= 0
         )
         return LocalConfiguration(
             tokens=self.tokens[node],

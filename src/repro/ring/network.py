@@ -20,11 +20,62 @@ into a :class:`repro.sim.actions.NodeView`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterator, List, NamedTuple, Set, Tuple
+from typing import Deque, Dict, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.ring.faults import PHANTOM, LinkSpec
 
-__all__ = ["Ring", "RingFastState"]
+__all__ = ["Ring", "RingFastState", "RingFaults"]
+
+
+class RingFaults:
+    """Mutable link-fault state of one ring (present only when faulty).
+
+    One shared object: the ring, its :class:`RingFastState` and the
+    engine all hold the *same* instance, so counter updates are visible
+    everywhere without synchronisation code.  ``buffers[i]`` is the
+    FIFO delay buffer of the link into node ``i`` — ``[payload,
+    remaining]`` pairs, head at index 0, where payload is an agent id
+    or :data:`~repro.ring.faults.PHANTOM` — draining into ``queues[i]``
+    in send order (FIFO is preserved under pure delay).  ``ordinal``
+    counts move-onto-link events (the label-invariant draw key),
+    ``loss_used``/``dup_used`` track the consumed budgets, and ``lost``
+    holds the ids of agents dropped in transit.
+    """
+
+    __slots__ = ("spec", "buffers", "lost", "ordinal", "loss_used", "dup_used")
+
+    def __init__(self, spec: LinkSpec, size: int) -> None:
+        self.spec = spec
+        self.buffers: List[Deque[List[int]]] = [deque() for _ in range(size)]
+        self.lost: Set[int] = set()
+        self.ordinal = 0
+        self.loss_used = 0
+        self.dup_used = 0
+
+    def clone(self, size: int) -> "RingFaults":
+        other = RingFaults(self.spec, size)
+        other.buffers = [
+            deque(list(entry) for entry in buffer) for buffer in self.buffers
+        ]
+        other.lost = set(self.lost)
+        other.ordinal = self.ordinal
+        other.loss_used = self.loss_used
+        other.dup_used = self.dup_used
+        return other
+
+    def snapshot(self) -> Tuple[object, ...]:
+        """Hashable value state (for :class:`Configuration` snapshots)."""
+        return (
+            tuple(
+                tuple((entry[0], entry[1]) for entry in buffer)
+                for buffer in self.buffers
+            ),
+            tuple(sorted(self.lost)),
+            self.ordinal,
+            self.loss_used,
+            self.dup_used,
+        )
 
 
 class RingFastState(NamedTuple):
@@ -49,6 +100,9 @@ class RingFastState(NamedTuple):
     staying: List[Set[int]]
     queues: List[Deque[int]]
     locations: Dict[int, int]
+    #: shared link-fault state, or None on a reliable ring (the default
+    #: keeps every historical 4-field construction working unchanged).
+    faults: Optional[RingFaults] = None
 
 
 class Ring:
@@ -65,12 +119,20 @@ class Ring:
       queue, never both.
 
     Agent locations are stored as a single int code per agent (staying
-    at node ``i`` -> ``i``; queued toward node ``i`` -> ``-(i + 1)``)
-    so the hot path never allocates location tuples; :meth:`locate`
-    decodes on demand for the human-facing API.
+    at node ``i`` -> ``i``; queued toward node ``i`` -> ``-(i + 1)``;
+    held in the delay buffer of the link into ``i`` ->
+    ``-(i + 1 + n)``) so the hot path never allocates location tuples;
+    :meth:`locate` decodes on demand for the human-facing API.
+
+    With an active :class:`~repro.ring.faults.LinkSpec` the ring
+    additionally carries a :class:`RingFaults` block: per-link FIFO
+    delay buffers feeding the queues, the lost-agent set and the
+    deterministic draw counters.  A reliable ring (``links=None``, the
+    default) allocates none of it and behaves bit-identically to the
+    pre-fault implementation.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, links: Optional[LinkSpec] = None) -> None:
         if size <= 0:
             raise ConfigurationError(f"ring size must be positive, got {size}")
         self._size = size
@@ -81,6 +143,10 @@ class Ring:
         self._queues: List[Deque[int]] = [deque() for _ in range(size)]
         # agent id -> int location code (see class docstring).
         self._locations: Dict[int, int] = {}
+        if links is not None and links.active:
+            self._faults: Optional[RingFaults] = RingFaults(links, size)
+        else:
+            self._faults = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -173,11 +239,13 @@ class Ring:
         return tuple(self._queues[node])
 
     def locate(self, agent_id: int) -> Tuple[str, int]:
-        """Return ``("node", i)`` or ``("queue", i)`` for ``agent_id``."""
+        """Return ``("node", i)``, ``("queue", i)`` or ``("buffer", i)``."""
         try:
             code = self._locations[agent_id]
         except KeyError:
             raise SimulationError(f"agent {agent_id} is not on the ring") from None
+        if code < -self._size:
+            return ("buffer", -code - 1 - self._size)
         if code < 0:
             return ("queue", -code - 1)
         return ("node", code)
@@ -191,9 +259,102 @@ class Ring:
         return all(not queue for queue in self._queues)
 
     def iter_in_transit(self) -> Iterator[int]:
-        """Yield every agent currently inside a link queue."""
+        """Yield every agent currently inside a link queue.
+
+        Phantom duplicates are not agents and are skipped; agents held
+        in a delay buffer are still in transit and are included.
+        """
         for queue in self._queues:
-            yield from queue
+            for agent_id in queue:
+                if agent_id >= 0:
+                    yield agent_id
+        if self._faults is not None:
+            for buffer in self._faults.buffers:
+                for payload, _ in buffer:
+                    if payload >= 0:
+                        yield payload
+
+    # ------------------------------------------------------------------
+    # Link faults (present only with an active LinkSpec)
+    # ------------------------------------------------------------------
+
+    @property
+    def faults(self) -> Optional[RingFaults]:
+        """The shared link-fault block, or ``None`` on a reliable ring."""
+        return self._faults
+
+    @property
+    def links(self) -> Optional[LinkSpec]:
+        """The active link-fault spec, or ``None`` on a reliable ring."""
+        return None if self._faults is None else self._faults.spec
+
+    def buffer_entry(self, payload: int, node: int, remaining: int) -> None:
+        """Append ``payload`` to the delay buffer of the link into ``node``.
+
+        ``payload`` is an agent id (tracked in ``locations`` with the
+        buffer code) or :data:`~repro.ring.faults.PHANTOM` (anonymous).
+        """
+        if self._faults is None:
+            raise SimulationError("ring has no link faults configured")
+        if payload >= 0:
+            self._assert_absent(payload)
+            self._locations[payload] = -(node + 1 + self._size)
+        self._faults.buffers[node].append([payload, remaining])
+
+    def append_phantom(self, node: int) -> None:
+        """Append a phantom duplicate to the tail of the queue into ``node``."""
+        if self._faults is None:
+            raise SimulationError("ring has no link faults configured")
+        self._queues[node].append(PHANTOM)
+
+    def pop_phantom(self, node: int) -> None:
+        """Discard the phantom at the head of the queue into ``node``."""
+        queue = self._queues[node]
+        if not queue or queue[0] != PHANTOM:
+            raise SimulationError(
+                f"no phantom at the head of the queue into node {node}"
+            )
+        queue.popleft()
+
+    def tick_buffer(self, node: int) -> Optional[int]:
+        """Advance the delay buffer of the link into ``node`` by one action.
+
+        Decrements the head entry's remaining delay; when it reaches
+        zero the entry transfers to the queue tail (send order — FIFO
+        under pure delay).  Returns the delivered payload, or ``None``
+        when the action only ticked the countdown.
+        """
+        if self._faults is None:
+            raise SimulationError("ring has no link faults configured")
+        buffer = self._faults.buffers[node]
+        if not buffer:
+            raise SimulationError(f"delay buffer into node {node} is empty")
+        head = buffer[0]
+        if head[1] > 0:
+            head[1] -= 1
+            if head[1] > 0:
+                return None
+        buffer.popleft()
+        payload = head[0]
+        if payload >= 0:
+            self._locations[payload] = -(node + 1)
+        self._queues[node].append(payload)
+        return payload
+
+    def mark_lost(self, agent_id: int) -> None:
+        """Record that ``agent_id`` was dropped in transit (never returns)."""
+        if self._faults is None:
+            raise SimulationError("ring has no link faults configured")
+        self._faults.lost.add(agent_id)
+
+    def link_pending(self, node: int) -> bool:
+        """Whether the link actor into ``node`` has an enabled action."""
+        if self._faults is None:
+            return False
+        if self._faults.buffers[node]:
+            return True
+        queue = self._queues[node]
+        return bool(queue) and queue[0] == PHANTOM
 
     # ------------------------------------------------------------------
     # Cloning (engine fork support)
@@ -211,6 +372,8 @@ class Ring:
         other._staying = [set(agents) for agents in self._staying]
         other._queues = [deque(queue) for queue in self._queues]
         other._locations = dict(self._locations)
+        if self._faults is not None:
+            other._faults = self._faults.clone(self._size)
         return other
 
     # ------------------------------------------------------------------
@@ -229,6 +392,7 @@ class Ring:
             staying=self._staying,
             queues=self._queues,
             locations=self._locations,
+            faults=self._faults,
         )
 
     # ------------------------------------------------------------------

@@ -196,6 +196,8 @@ def batch_supported(spec) -> Optional[str]:
     load_kernels()
     if spec.algorithm not in KERNELS:
         return f"algorithm {spec.algorithm!r} has no batch kernel"
+    if getattr(spec, "links", None) is not None:
+        return "link faults require the object engine"
     if spec.record_views:
         return "record_views requires the object engine"
     if spec.validate_enabledness:

@@ -68,6 +68,7 @@ from repro.errors import (
     SimulationLimitExceeded,
 )
 from repro.ring.configuration import Configuration
+from repro.ring.faults import PHANTOM, LinkSpec
 from repro.ring.network import Ring
 from repro.ring.placement import Placement
 from repro.sim.actions import Move, NodeView
@@ -98,6 +99,7 @@ class Engine:
         collect_metrics: bool = True,
         validate_enabledness: bool = False,
         record_views: bool = False,
+        links: Optional[LinkSpec] = None,
     ) -> None:
         if len(agents) != placement.agent_count:
             raise ConfigurationError(
@@ -105,7 +107,7 @@ class Engine:
                 f"{placement.agent_count} homes"
             )
         self._placement = placement
-        self._ring = Ring(placement.ring_size)
+        self._ring = Ring(placement.ring_size, links)
         self._agents: Dict[int, Agent] = dict(enumerate(agents))
         self._homes: Dict[int, int] = dict(enumerate(placement.homes))
         self._inboxes: Dict[int, List[object]] = {i: [] for i in self._agents}
@@ -141,9 +143,12 @@ class Engine:
         self._staying = fast.staying
         self._queues = fast.queues
         self._locations = fast.locations
+        self._faults = fast.faults
         self._size = placement.ring_size
         # The paper's C0: every agent sits in the incoming buffer of its
-        # home node, guaranteeing it acts there first.
+        # home node, guaranteeing it acts there first.  Initial placement
+        # is fault-free: faults apply to *moves* on links, not to the
+        # paper's C0 buffer rule.
         for agent_id, home in self._homes.items():
             self._ring.enqueue(agent_id, home)
         # Live enabled set: initially the head of every non-empty queue.
@@ -157,6 +162,11 @@ class Engine:
     def ring(self) -> Ring:
         """The ring substrate (read-mostly; mutate only via agent actions)."""
         return self._ring
+
+    @property
+    def links(self) -> Optional[LinkSpec]:
+        """The active link-fault spec, or ``None`` on reliable links."""
+        return self._ring.links
 
     @property
     def metrics(self) -> Metrics:
@@ -196,7 +206,14 @@ class Engine:
         return tuple(sorted(self._agents))
 
     def enabled_agents(self) -> List[int]:
-        """Agents that can take an atomic action right now, sorted by id."""
+        """Ids that can take an atomic action right now, sorted ascending.
+
+        With active link faults the list also contains *link actor*
+        pseudo-ids (``-(v + 1)`` for the link into node ``v``) whenever
+        that link has pending work — a non-empty delay buffer or a
+        phantom at the queue head.  On reliable links every id is a
+        plain agent id, exactly as before.
+        """
         return sorted(self._enabled)
 
     def recompute_enabled_agents(self) -> List[int]:
@@ -205,15 +222,29 @@ class Engine:
         This is the seed engine's full rescan, kept as the differential
         oracle for the incremental set: the two must agree after every
         batch (``validate_enabledness=True`` asserts exactly that).
+        With link faults it additionally derives each link actor's
+        enabledness from the delay buffers and queue heads, and treats
+        lost and buffer-held agents as disabled.
         """
-        enabled = []
+        faults = self._faults
+        enabled: List[int] = []
+        if faults is not None:
+            for node in range(self._size):
+                queue = self._queues[node]
+                if faults.buffers[node] or (queue and queue[0] == PHANTOM):
+                    enabled.append(-(node + 1))
+            enabled.sort()
         for agent_id, agent in sorted(self._agents.items()):
             if agent.halted:
+                continue
+            if faults is not None and agent_id in faults.lost:
                 continue
             kind, node = self._ring.locate(agent_id)
             if kind == "queue":
                 if self._ring.queue_head(node) == agent_id:
                     enabled.append(agent_id)
+            elif kind == "buffer":
+                pass  # held by the link until its delay drains
             else:
                 if not agent.suspended or self._inboxes[agent_id]:
                     enabled.append(agent_id)
@@ -311,7 +342,10 @@ class Engine:
                 f"agent {agent_id} is not enabled "
                 f"(enabled: {sorted(self._enabled)})"
             )
-        self._activate(agent_id)
+        if agent_id < 0:
+            self._activate_link(agent_id)
+        else:
+            self._activate(agent_id)
         if self._validate:
             self.check_enabledness_invariant()
 
@@ -362,6 +396,7 @@ class Engine:
         clone._staying = fast.staying
         clone._queues = fast.queues
         clone._locations = fast.locations
+        clone._faults = fast.faults
         clone._size = self._size
         clone._enabled = set(self._enabled)
         return clone
@@ -396,12 +431,18 @@ class Engine:
                 agent_id: tuple(inbox) for agent_id, inbox in self._inboxes.items()
             },
             started=dict(self._started),
+            faults=None if self._faults is None else self._faults.snapshot(),
         )
 
     def final_positions(self) -> Dict[int, int]:
         """Map agent id -> node for all staying agents (post-quiescence)."""
         positions = {}
+        faults = self._faults
         for agent_id in self._agents:
+            if faults is not None and agent_id in faults.lost:
+                raise SimulationError(
+                    f"agent {agent_id} was lost in transit (link fault)"
+                )
             kind, node = self._ring.locate(agent_id)
             if kind != "node":
                 raise SimulationError(
@@ -424,7 +465,10 @@ class Engine:
             # An earlier activation in the batch can disable a later
             # agent (e.g. by moving into the queue slot ahead of it).
             if agent_id in enabled:
-                self._activate(agent_id)
+                if agent_id < 0:
+                    self._activate_link(agent_id)
+                else:
+                    self._activate(agent_id)
                 activated = True
         if not activated:
             # A well-behaved batch is a subsequence of ``enabled``, so its
@@ -465,7 +509,13 @@ class Engine:
             queue = self._queues[node]
             queue.popleft()
             if queue:
-                enabled.add(queue[0])  # the new head can act now
+                head = queue[0]
+                if head >= 0:
+                    enabled.add(head)  # the new head can act now
+                else:
+                    # A phantom surfaced at the head: the link actor
+                    # consumes it (only reachable with active faults).
+                    enabled.add(-(node + 1))
             if tracing:
                 self._record(TraceEventKind.ARRIVE, agent_id, node)
         else:
@@ -526,11 +576,14 @@ class Engine:
             destination = node + 1
             if destination == self._size:
                 destination = 0
-            queue = self._queues[destination]
-            queue.append(agent_id)
-            locations[agent_id] = -(destination + 1)
-            if len(queue) == 1:
-                enabled.add(agent_id)  # entered an empty queue: head at once
+            if self._faults is not None:
+                self._move_with_faults(agent_id, destination)
+            else:
+                queue = self._queues[destination]
+                queue.append(agent_id)
+                locations[agent_id] = -(destination + 1)
+                if len(queue) == 1:
+                    enabled.add(agent_id)  # entered an empty queue: head at once
             if metrics is not None:
                 metrics.record_move(agent_id)
             if tracing:
@@ -557,6 +610,93 @@ class Engine:
                 or action.suspend
             ):
                 metrics.record_memory(agent_id, agent.memory_bits())
+
+    def _move_with_faults(self, agent_id: int, destination: int) -> None:
+        """Place a forward-moving agent on the (faulty) link into ``destination``.
+
+        One deterministic draw sequence per move event, keyed on the
+        global move ordinal (see :mod:`repro.ring.faults` for why the
+        key must be label-invariant): loss first (budget permitting),
+        then duplication, then the delay of the surviving copy.  A
+        delay of zero onto an empty buffer is the reliable fast path —
+        direct enqueue, identical to the fault-free engine — so a
+        ``delay=0`` spec with loss/dup budgets spent behaves exactly
+        like reliable links from that point on.
+        """
+        faults = self._faults
+        spec = faults.spec
+        ordinal = faults.ordinal
+        faults.ordinal = ordinal + 1
+        if faults.loss_used < spec.loss and spec.draw_loss(ordinal):
+            # Dropped in transit: the agent is nowhere on the ring and
+            # never acts again (its entry in _locations stays popped).
+            faults.loss_used += 1
+            faults.lost.add(agent_id)
+            return
+        duplicate = faults.dup_used < spec.dup and spec.draw_dup(ordinal)
+        if duplicate:
+            faults.dup_used += 1
+        delay = spec.draw_delay(ordinal)
+        buffer = faults.buffers[destination]
+        if delay == 0 and not buffer:
+            queue = self._queues[destination]
+            queue.append(agent_id)
+            self._locations[agent_id] = -(destination + 1)
+            if queue[0] == agent_id:
+                self._enabled.add(agent_id)
+            if duplicate:
+                queue.append(PHANTOM)
+        else:
+            # FIFO delay buffer: the entry (and its phantom, riding
+            # immediately behind) drains into the queue in send order.
+            buffer.append([agent_id, delay])
+            self._locations[agent_id] = -(destination + 1 + self._size)
+            if duplicate:
+                buffer.append([PHANTOM, 0])
+            self._enabled.add(-(destination + 1))
+
+    def _activate_link(self, actor_id: int) -> None:
+        """One atomic action of the link actor into node ``-(actor_id) - 1``.
+
+        Deterministic priority: a phantom at the queue head is consumed
+        first; otherwise the delay buffer's head counts down one tick
+        (transferring to the queue tail when it reaches zero).  Link
+        actions count as steps and appear in the activation log — they
+        are schedulable, replayable choices — but touch no per-agent
+        metrics.
+        """
+        steps = self._steps + 1
+        self._steps = steps
+        self._activation_log.append(actor_id)
+        if steps > self._max_steps:
+            raise SimulationLimitExceeded(
+                f"exceeded {self._max_steps} atomic actions without quiescence "
+                f"(n={self._size}, k={len(self._agents)}, "
+                f"scheduler={self._scheduler.describe()})"
+            )
+        node = -actor_id - 1
+        faults = self._faults
+        enabled = self._enabled
+        queue = self._queues[node]
+        if queue and queue[0] == PHANTOM:
+            queue.popleft()
+            if queue:
+                head = queue[0]
+                if head >= 0:
+                    enabled.add(head)  # the duplicate's victim surfaces
+        else:
+            delivered = self._ring.tick_buffer(node)
+            if delivered is not None and delivered >= 0:
+                if queue[0] == delivered:
+                    enabled.add(delivered)
+        if queue and queue[0] == PHANTOM:
+            pending = True
+        else:
+            pending = bool(faults.buffers[node])
+        if pending:
+            enabled.add(actor_id)
+        else:
+            enabled.discard(actor_id)
 
     def _record(
         self,

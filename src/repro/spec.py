@@ -39,6 +39,7 @@ from repro.registry import (
     get_algorithm,
     parse_scheduler_spec,
 )
+from repro.ring.faults import LinkSpec
 from repro.ring.placement import (
     Placement,
     equidistant_placement,
@@ -175,6 +176,13 @@ class ExperimentSpec:
     ``scheduler_seed`` is the context seed filling any seed parameter
     the spec string leaves unpinned.  Engine options and limits mirror
     :func:`repro.experiments.runner.build_engine`.
+
+    ``links`` is the optional link-fault envelope
+    (:class:`~repro.ring.faults.LinkSpec`).  ``None`` — and any
+    *inactive* spec, which is normalised to ``None`` on construction —
+    means reliable links: the serialised form then omits the field
+    entirely, so the content hash of every pre-fault experiment is
+    untouched.
     """
 
     algorithm: str
@@ -186,6 +194,7 @@ class ExperimentSpec:
     collect_metrics: bool = True
     validate_enabledness: bool = False
     record_views: bool = False
+    links: Optional[LinkSpec] = None
 
     def __post_init__(self) -> None:
         get_algorithm(self.algorithm)  # raises on unknown names
@@ -196,6 +205,15 @@ class ExperimentSpec:
                 "PlacementSpec.from_placement for concrete placements)"
             )
         object.__setattr__(self, "scheduler", _coerce_scheduler(self.scheduler))
+        if self.links is not None:
+            if not isinstance(self.links, LinkSpec):
+                raise ConfigurationError(
+                    f"links must be a LinkSpec, got {type(self.links).__name__}"
+                )
+            if not self.links.active:
+                # Inactive spec == reliable links: normalise so equal
+                # experiments compare, hash and serialise identically.
+                object.__setattr__(self, "links", None)
 
     # -- construction helpers ------------------------------------------------
 
@@ -239,7 +257,7 @@ class ExperimentSpec:
     def to_dict(self) -> Dict[str, object]:
         """Lossless JSON-ready form: algorithm, placement, scheduler,
         engine options and limits as nested plain dicts."""
-        return {
+        out: Dict[str, object] = {
             "algorithm": self.algorithm,
             "placement": self.placement.to_dict(),
             "scheduler": {"spec": self.scheduler, "seed": self.scheduler_seed},
@@ -251,6 +269,11 @@ class ExperimentSpec:
             },
             "limits": {"max_steps": self.max_steps},
         }
+        if self.links is not None:
+            # Emitted only when active: absent == reliable links, so
+            # every archived content hash predating faults is unchanged.
+            out["links"] = self.links.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
@@ -260,7 +283,7 @@ class ExperimentSpec:
                 f"experiment spec must be a dict, got {type(data).__name__}"
             )
         unknown = set(data) - {
-            "algorithm", "placement", "scheduler", "engine", "limits"
+            "algorithm", "placement", "scheduler", "engine", "limits", "links"
         }
         if unknown:
             raise ConfigurationError(
@@ -284,6 +307,8 @@ class ExperimentSpec:
                     f"experiment spec section {section_name!r} must be a "
                     f"dict, got {type(section).__name__}"
                 )
+        links_data = data.get("links")
+        links = None if links_data is None else LinkSpec.from_dict(links_data)
         return cls(
             algorithm=algorithm,
             placement=placement,
@@ -294,6 +319,7 @@ class ExperimentSpec:
             collect_metrics=bool(engine.get("collect_metrics", True)),
             validate_enabledness=bool(engine.get("validate_enabledness", False)),
             record_views=bool(engine.get("record_views", False)),
+            links=links,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

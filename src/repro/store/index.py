@@ -54,7 +54,9 @@ __all__ = [
 
 #: Version of the SQLite index schema; a mismatch triggers a rebuild
 #: (the index is derived data — rebuilding is always safe).
-INDEX_SCHEMA_VERSION = 1
+#: v2: ``uniform`` became tri-state (NULL = record carries no report),
+#: so reportless records stop masquerading as failed runs.
+INDEX_SCHEMA_VERSION = 2
 
 _SHARD_GLOB = "shard-*.jsonl"
 
@@ -71,7 +73,7 @@ class LineEntry:
     scheduler: str
     ring_size: int
     agent_count: int
-    uniform: bool
+    uniform: Optional[bool]  # None = the record carries no report
     stamp: int  # wall-clock write stamp (envelope "_ts"), 0 if absent
     ord: int  # monotonic indexing order; breaks stamp ties (later wins)
 
@@ -92,7 +94,11 @@ def entry_from_payload(
         if isinstance(spec.get("scheduler"), dict)
         else None
     ) or str(result.get("scheduler", ""))
-    report = result.get("report") or {}
+    # Tri-state: a record without a verification report has no verdict.
+    # Coercing "no report" to False used to index such records as failed
+    # runs and surface them under `query --failed` as false positives.
+    report = result.get("report")
+    uniform = None if not report else bool(report.get("ok", False))
     return LineEntry(
         shard=shard,
         offset=offset,
@@ -102,7 +108,7 @@ def entry_from_payload(
         scheduler=scheduler,
         ring_size=int(result.get("ring_size", 0)),
         agent_count=len(result.get("homes", ())),
-        uniform=bool(report.get("ok", False)),
+        uniform=uniform,
         stamp=int(payload.get("_ts", 0)),
         ord=ord_,
     )
@@ -318,6 +324,30 @@ class MemoryLineIndex:
             if self._winner_of(bucket, frontier) is not None
         )
 
+    def count_winners(
+        self,
+        frontier: Optional[Dict[str, int]],
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        ring_size: Optional[int] = None,
+        agent_count: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+    ) -> int:
+        """Count matching winners without touching any record bytes."""
+        return len(
+            self.winners(
+                frontier,
+                algorithm=algorithm,
+                scheduler=scheduler,
+                ring_size=ring_size,
+                agent_count=agent_count,
+                uniform=uniform,
+                hash_prefix=hash_prefix,
+            )
+        )
+
     def hashes(self, frontier: Optional[Dict[str, int]]) -> List[str]:
         return sorted(
             content_hash
@@ -421,7 +451,7 @@ class SqliteLineIndex:
                     scheduler TEXT NOT NULL,
                     ring_size INTEGER NOT NULL,
                     agent_count INTEGER NOT NULL,
-                    uniform INTEGER NOT NULL,
+                    uniform INTEGER,
                     stamp INTEGER NOT NULL);
                 CREATE UNIQUE INDEX IF NOT EXISTS idx_lines_pos
                     ON lines(shard, offset);
@@ -559,7 +589,7 @@ class SqliteLineIndex:
                 entry.scheduler,
                 entry.ring_size,
                 entry.agent_count,
-                1 if entry.uniform else 0,
+                None if entry.uniform is None else (1 if entry.uniform else 0),
                 entry.stamp,
             ),
         )
@@ -624,7 +654,7 @@ class SqliteLineIndex:
             scheduler=row[5],
             ring_size=int(row[6]),
             agent_count=int(row[7]),
-            uniform=bool(row[8]),
+            uniform=None if row[8] is None else bool(row[8]),
             stamp=int(row[9]),
             ord=int(row[10]),
         )
@@ -722,6 +752,24 @@ class SqliteLineIndex:
                 params,
             ).fetchone()
         return int(row[0])
+
+    def count_winners(
+        self,
+        frontier: Optional[Dict[str, int]],
+        *,
+        algorithm: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        ring_size: Optional[int] = None,
+        agent_count: Optional[int] = None,
+        uniform: Optional[bool] = None,
+        hash_prefix: Optional[str] = None,
+    ) -> int:
+        """``SELECT COUNT(*)`` over the winners — zero record bytes read."""
+        rows = self._winner_query(
+            "COUNT(*)", frontier, algorithm, scheduler, ring_size,
+            agent_count, uniform, hash_prefix, "", [],
+        )
+        return int(list(rows)[0][0])
 
     def hashes(self, frontier: Optional[Dict[str, int]]) -> List[str]:
         clause, params = self._frontier_clause(frontier)

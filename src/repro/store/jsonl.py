@@ -221,7 +221,13 @@ class _StoreView:
         uniform: Optional[bool] = None,
         hash_prefix: Optional[str] = None,
     ) -> int:
-        """How many records :meth:`query` would match (no disk reads)."""
+        """How many records :meth:`query` would match (no disk reads).
+
+        Counting is pushed into the index backend (``SELECT COUNT(*)``
+        for SQLite): no entry list is materialised and no record bytes
+        are ever read, so counting a million-record store costs one
+        query, not one allocation per match.
+        """
         if all(
             value is None
             for value in (
@@ -230,16 +236,14 @@ class _StoreView:
             )
         ):
             return self._index.count(self._frontier)
-        return len(
-            self._index.winners(
-                self._frontier,
-                algorithm=algorithm,
-                scheduler=scheduler,
-                ring_size=ring_size,
-                agent_count=agent_count,
-                uniform=uniform,
-                hash_prefix=hash_prefix,
-            )
+        return self._index.count_winners(
+            self._frontier,
+            algorithm=algorithm,
+            scheduler=scheduler,
+            ring_size=ring_size,
+            agent_count=agent_count,
+            uniform=uniform,
+            hash_prefix=hash_prefix,
         )
 
     def digest(self) -> str:
@@ -314,8 +318,22 @@ class StoreSnapshot(_StoreView):
 
     def __init__(self, store: "RunStore") -> None:
         self.root = store.root
-        self._index = store._index
+        self._store = store
+        self._generation = store.generation
         self._frontier = dict(store._frontier)
+
+    @property
+    def _index(self):
+        # Fail loudly, never serve torn answers: compact() relocates
+        # line bytes, so a pre-compaction frontier's offsets are
+        # meaningless afterwards.  Every read path consults the index
+        # first, so gating it here invalidates the whole snapshot.
+        if self._store.generation != self._generation:
+            raise ConfigurationError(
+                f"snapshot of {self.root} was invalidated by compact(); "
+                f"take a new snapshot"
+            )
+        return self._store._index
 
     def describe(self) -> str:
         return (
@@ -374,6 +392,9 @@ class RunStore(_StoreView):
                 f"(expected 'sqlite' or 'memory')"
             )
         self.index_mode = index
+        #: Bumped by :meth:`compact`; snapshots pin the value they were
+        #: taken at and refuse to answer once it moves.
+        self.generation = 0
         self._frontier: Dict[str, int] = {}
         self._lock = threading.Lock()
         self.refresh()
@@ -444,6 +465,83 @@ class RunStore(_StoreView):
             self._index.rebuild(self.root)
             self._frontier = self._index.frontier()
             return self._index.count(self._frontier)
+
+    def compact(self) -> int:
+        """Rewrite every shard in place, keeping only winning lines.
+
+        ``put(replace=True)`` leaves the superseded line on disk, racing
+        writers duplicate identical payloads, and fenced-off torn tails
+        linger as garbage bytes — an archive under churn only ever
+        grows.  Compaction drops all of that: each shard is rewritten
+        (atomic tmp + fsync + rename) to hold exactly the bytes of its
+        winning lines, a shard left with no winners is deleted, and the
+        secondary index is rebuilt from the rewritten files.  The
+        surviving lines are byte-identical to the winners they were, so
+        :meth:`digest` is unchanged by construction.  Returns the number
+        of shard bytes reclaimed.
+
+        This is a maintenance operation for a quiescent store: it holds
+        this process's shard locks throughout but cannot stop *other
+        processes* from appending mid-rewrite — run it when no writers
+        are live.  Snapshots taken before a compaction fail loudly
+        afterwards instead of serving records from relocated offsets.
+        """
+        with self._lock:
+            self._index.tail(self.root)
+            by_shard: Dict[str, List[LineEntry]] = {}
+            for entry in self._index.winners(None):
+                by_shard.setdefault(entry.shard, []).append(entry)
+            reclaimed = 0
+            for path in sorted(self.root.glob("shard-*.jsonl")):
+                with _shard_lock(path):
+                    size = path.stat().st_size
+                    keep = sorted(
+                        by_shard.get(path.name, ()), key=lambda e: e.offset
+                    )
+                    lines: List[bytes] = []
+                    with path.open("rb") as handle:
+                        for entry in keep:
+                            handle.seek(entry.offset)
+                            raw = handle.read(entry.length)
+                            # The index said these bytes are a committed
+                            # record; verify before destroying anything.
+                            try:
+                                payload = json.loads(raw)
+                            except ValueError:
+                                payload = None
+                            if (
+                                not isinstance(payload, dict)
+                                or payload.get("content_hash")
+                                != entry.content_hash
+                            ):
+                                raise ConfigurationError(
+                                    f"compact aborted: {path.name} bytes at "
+                                    f"{entry.offset} do not round-trip to "
+                                    f"record {entry.content_hash[:12]} "
+                                    f"(index stale or shard rewritten?); "
+                                    f"no shard was modified beyond this point"
+                                )
+                            lines.append(raw)
+                    if not lines:
+                        os.unlink(path)
+                        reclaimed += size
+                        continue
+                    rewritten = b"".join(line + b"\n" for line in lines)
+                    reclaimed += size - len(rewritten)
+                    tmp = path.with_name(path.name + ".tmp")
+                    fd = os.open(
+                        tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+                    )
+                    try:
+                        os.write(fd, rewritten)
+                        os.fsync(fd)
+                    finally:
+                        os.close(fd)
+                    os.replace(tmp, path)
+            self._index.rebuild(self.root)
+            self._frontier = self._index.frontier()
+            self.generation += 1
+            return reclaimed
 
     def close(self) -> None:
         """Release the index backend (open snapshots become invalid)."""

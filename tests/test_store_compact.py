@@ -1,0 +1,263 @@
+"""Store-index correctness sweep: tri-state uniform, count pushdown, compact.
+
+Three related store fixes ride the link-fault PR:
+
+* a record whose result carries ``report: None`` (the engine ran but
+  verification was skipped or inapplicable) used to index as
+  ``uniform=0`` and surface under ``query --failed`` — the index now
+  stores NULL and both filter polarities exclude it,
+* ``count()`` is pushed into the index backend (``SELECT COUNT(*)``
+  for SQLite): no entry list is materialised and no record bytes are
+  ever parsed,
+* ``RunStore.compact()`` rewrites shards down to their winning lines —
+  digest unchanged by construction, superseded/duplicate bytes
+  reclaimed, stale pre-compaction snapshots fail loudly.
+
+Every behaviour is pinned on the SQLite index AND the in-memory scan,
+which must stay differentially identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.spec import ExperimentSpec, PlacementSpec
+from repro.store import RunRecord, RunStore
+from repro.store.index import INDEX_SCHEMA_VERSION
+
+BACKENDS = ("sqlite", "memory")
+
+
+def _spec(algorithm="known_k_full", seed=1, scheduler="sync", n=18, k=3):
+    return ExperimentSpec(
+        algorithm=algorithm,
+        placement=PlacementSpec(
+            kind="random", ring_size=n, agent_count=k, seed=seed
+        ),
+        scheduler=scheduler,
+        scheduler_seed=seed ^ 0xBEEF,
+    )
+
+
+def _record(**kwargs) -> RunRecord:
+    spec = _spec(**kwargs)
+    return run_experiment(spec).to_record(spec)
+
+
+def _reportless(seed: int) -> RunRecord:
+    """A committed run whose result carries no verification report."""
+    data = _record(seed=seed).to_dict()
+    data["result"]["report"] = None
+    return RunRecord.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: tri-state uniform in the index
+# ---------------------------------------------------------------------------
+
+
+class TestTriStateUniform:
+    def test_schema_version_bumped_for_nullable_uniform(self):
+        assert INDEX_SCHEMA_VERSION == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_reportless_record_matches_neither_polarity(self, tmp_path, backend):
+        store = RunStore(tmp_path / backend, index=backend)
+        good = _record(seed=1)
+        orphan = _reportless(seed=2)
+        store.put(good)
+        store.put(orphan)
+        assert len(store) == 2
+        # The bug this pins: a reportless record is NOT a failed run.
+        failed = list(store.query(uniform=False))
+        assert failed == []
+        assert store.count(uniform=False) == 0
+        succeeded = list(store.query(uniform=True))
+        assert [r.content_hash for r in succeeded] == [good.content_hash]
+        assert store.count(uniform=True) == 1
+        # Unfiltered access still sees it — it is archived, just unjudged.
+        assert store.contains(orphan.content_hash)
+        assert store.get(orphan.content_hash).result["report"] is None
+        store.close()
+
+    def test_backends_differentially_identical(self, tmp_path):
+        root = tmp_path / "store"
+        writer = RunStore(root, index="sqlite")
+        for seed in range(1, 5):
+            writer.put(_record(seed=seed))
+        writer.put(_reportless(seed=5))
+        writer.close()
+        sqlite_store = RunStore(root, index="sqlite")
+        memory_store = RunStore(root, index="memory")
+        for uniform in (None, True, False):
+            assert sqlite_store.count(uniform=uniform) == memory_store.count(
+                uniform=uniform
+            )
+            assert [r.content_hash for r in sqlite_store.query(uniform=uniform)] == [
+                r.content_hash for r in memory_store.query(uniform=uniform)
+            ]
+        assert sqlite_store.digest() == memory_store.digest()
+        sqlite_store.close()
+        memory_store.close()
+
+    def test_reopen_preserves_null(self, tmp_path):
+        root = tmp_path / "store"
+        store = RunStore(root)
+        store.put(_reportless(seed=3))
+        store.close()
+        reopened = RunStore(root)
+        assert reopened.count(uniform=False) == 0
+        assert reopened.count(uniform=True) == 0
+        assert reopened.count() == 1
+        assert reopened.verify_index() == 1
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: count() pushed into the index backend
+# ---------------------------------------------------------------------------
+
+
+class TestCountPushdown:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_count_matches_query(self, tmp_path, backend):
+        store = RunStore(tmp_path / backend, index=backend)
+        for seed in range(1, 4):
+            store.put(_record(seed=seed))
+        for seed in range(1, 3):
+            store.put(_record(seed=seed + 10, algorithm="known_n_full"))
+        filters = [
+            {},
+            {"algorithm": "known_k_full"},
+            {"algorithm": "known_n_full"},
+            {"algorithm": "nope"},
+            {"ring_size": 18, "agent_count": 3},
+            {"uniform": True},
+            {"uniform": False},
+            {"hash_prefix": next(iter(store.hashes()))[:8]},
+        ]
+        for kwargs in filters:
+            assert store.count(**kwargs) == len(list(store.query(**kwargs)))
+        store.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_count_reads_no_record_bytes(self, tmp_path, backend, monkeypatch):
+        store = RunStore(tmp_path / backend, index=backend)
+        for seed in range(1, 4):
+            store.put(_record(seed=seed))
+
+        def explode(*args, **kwargs):
+            raise AssertionError("count() must not parse record bytes")
+
+        monkeypatch.setattr(type(store), "_load", explode)
+        monkeypatch.setattr(type(store), "_load_many", explode)
+        assert store.count() == 3
+        assert store.count(algorithm="known_k_full", uniform=True) == 3
+        assert store.count(algorithm="known_n_full") == 0
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: shard compaction
+# ---------------------------------------------------------------------------
+
+
+class TestCompact:
+    def _churned_store(self, root, index="sqlite"):
+        """A store with superseded lines: same specs put() twice."""
+        store = RunStore(root, index=index)
+        records = [_record(seed=seed) for seed in range(1, 4)]
+        for record in records:
+            store.put(record)
+        for record in records:
+            store.put(record, replace=True)
+        return store
+
+    def test_digest_and_contents_unchanged(self, tmp_path):
+        store = self._churned_store(tmp_path / "store")
+        before_digest = store.digest()
+        before_hashes = store.hashes()
+        shard_bytes = sum(
+            p.stat().st_size for p in store.root.glob("shard-*.jsonl")
+        )
+        reclaimed = store.compact()
+        assert reclaimed > 0
+        after_bytes = sum(
+            p.stat().st_size for p in store.root.glob("shard-*.jsonl")
+        )
+        assert after_bytes == shard_bytes - reclaimed
+        assert store.digest() == before_digest
+        assert store.hashes() == before_hashes
+        for content_hash in before_hashes:
+            assert store.get(content_hash).content_hash == content_hash
+        assert store.verify_index() == len(before_hashes)
+        store.close()
+
+    def test_second_compact_is_a_noop(self, tmp_path):
+        store = self._churned_store(tmp_path / "store")
+        store.compact()
+        assert store.compact() == 0
+        store.close()
+
+    def test_reopen_after_compact(self, tmp_path):
+        root = tmp_path / "store"
+        store = self._churned_store(root)
+        digest = store.digest()
+        store.compact()
+        store.close()
+        reopened = RunStore(root)
+        assert reopened.digest() == digest
+        assert len(reopened) == 3
+        reopened.close()
+
+    def test_memory_index_agrees(self, tmp_path):
+        sqlite_store = self._churned_store(tmp_path / "a", index="sqlite")
+        memory_store = self._churned_store(tmp_path / "b", index="memory")
+        assert sqlite_store.digest() == memory_store.digest()
+        assert sqlite_store.compact() == memory_store.compact()
+        assert sqlite_store.digest() == memory_store.digest()
+        assert sqlite_store.hashes() == memory_store.hashes()
+        sqlite_store.close()
+        memory_store.close()
+
+    def test_stale_snapshot_fails_loudly(self, tmp_path):
+        store = self._churned_store(tmp_path / "store")
+        snapshot = store.snapshot()
+        assert len(snapshot.hashes()) == 3  # live before the compaction
+        store.compact()
+        with pytest.raises(ConfigurationError, match="invalidated by compact"):
+            snapshot.hashes()
+        with pytest.raises(ConfigurationError, match="take a new snapshot"):
+            snapshot.count()
+        fresh = store.snapshot()
+        assert len(fresh.hashes()) == 3
+        store.close()
+
+    def test_compact_keeps_writability(self, tmp_path):
+        store = self._churned_store(tmp_path / "store")
+        store.compact()
+        extra = _record(seed=9)
+        assert store.put(extra)
+        assert store.contains(extra.content_hash)
+        assert store.verify_index() == 4
+        store.close()
+
+    def test_compact_refuses_corrupt_shard(self, tmp_path):
+        # The index claims bytes that no longer round-trip: compaction
+        # must abort before destroying anything.
+        store = self._churned_store(tmp_path / "store")
+        shard = next(iter(store.root.glob("shard-*.jsonl")))
+        raw = shard.read_bytes()
+        record = json.loads(raw.splitlines()[0])
+        # Rewrite in place, same length, corrupted hash field.
+        mangled = raw.replace(
+            record["content_hash"].encode(), b"f" * len(record["content_hash"])
+        )
+        shard.write_bytes(mangled)
+        with pytest.raises(ConfigurationError, match="compact aborted"):
+            store.compact()
+        store.close()
